@@ -1,0 +1,72 @@
+// Flash crowd: every flow is legitimate TCP, but the aggregate surge looks
+// like an attack to a naive victim-side detector. The example compares MAFIC
+// against the proportional dropper of the authors' earlier pushback work on
+// the same surge and shows why adaptive probing matters: MAFIC's probes let
+// the responsive flows through (low collateral damage), while proportional
+// dropping keeps punishing everybody.
+//
+//	go run ./examples/flashcrowd
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mafic"
+	"mafic/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// flashCrowdScenario builds a surge of purely legitimate traffic: many TCP
+// flows, a single token attack flow (the workload generator always provisions
+// at least one), and a forced defence activation so both defences face the
+// same conditions.
+func flashCrowdScenario(defense mafic.DefenseKind) mafic.Scenario {
+	s := mafic.DefaultScenario()
+	s.Name = "flashcrowd-" + defense.String()
+	s.Defense = defense
+	s.Workload.TotalFlows = 80
+	s.Workload.TCPShare = 1.0 // everything is a well-behaved TCP flow
+	s.Workload.AttackRate = 800
+	s.Duration = 3 * sim.Second
+	// Detection is deliberately disabled; the scheduled fallback plays
+	// the role of an operator overreacting to the surge.
+	s.Pushback.HistoryFactor = 1e9
+	s.DetectionFallback = 300 * sim.Millisecond
+	return s
+}
+
+func run() error {
+	maficRes, err := mafic.Simulate(flashCrowdScenario(mafic.DefenseMAFIC))
+	if err != nil {
+		return err
+	}
+	propRes, err := mafic.Simulate(flashCrowdScenario(mafic.DefenseBaseline))
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("flash crowd: 80 legitimate TCP flows surge toward the server,")
+	fmt.Println("and the operator turns on dropping at every ingress router anyway.")
+	fmt.Println()
+	fmt.Printf("%-34s %18s %18s\n", "", "MAFIC", "proportional drop")
+	fmt.Printf("%-34s %17.2f%% %17.2f%%\n", "legitimate packets dropped (Lr)",
+		maficRes.LegitimateDropRate*100, propRes.LegitimateDropRate*100)
+	fmt.Printf("%-34s %17.3f%% %17.3f%%\n", "false positive rate (θp)",
+		maficRes.FalsePositiveRate*100, propRes.FalsePositiveRate*100)
+	fmt.Printf("%-34s %17d %17d\n", "legitimate flows condemned",
+		maficRes.LegitFlowsCondemned, propRes.LegitFlowsCondemned)
+	fmt.Println()
+	if maficRes.LegitimateDropRate < propRes.LegitimateDropRate {
+		fmt.Println("MAFIC's probing recognises the responsive flows and stops punishing them;")
+		fmt.Println("the proportional dropper keeps discarding the flash crowd for the whole run.")
+	} else {
+		fmt.Println("unexpected: MAFIC did not outperform the proportional dropper on this seed")
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+// Traffic-matrix demo: exercise the set-union counting substrate (paper
+// Section II) on its own. Known volumes are injected from two ingress
+// routers toward the victim; the LogLog sketches at every router estimate
+// |S_i|, |D_j| and the matrix entries a_ij = |S_i| + |D_j| − |S_i ∪ D_j|,
+// which are then compared against the ground truth.
+//
+//	go run ./examples/trafficmatrix
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mafic/internal/netsim"
+	"mafic/internal/sim"
+	"mafic/internal/topology"
+	"mafic/internal/trafficmatrix"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	rng := sim.NewRNG(7)
+	sched := sim.NewScheduler()
+	cfg := topology.DefaultConfig()
+	cfg.NumRouters = 16
+	domain, err := topology.Build(cfg, sched, rng)
+	if err != nil {
+		return fmt.Errorf("build domain: %w", err)
+	}
+	domain.Victim.SetDefaultHandler(func(*netsim.Packet, sim.Time) {})
+
+	monitor, err := trafficmatrix.NewMonitor(domain.Net, trafficmatrix.MonitorConfig{
+		Epoch:   time500ms(),
+		Buckets: 2048,
+	}, nil)
+	if err != nil {
+		return fmt.Errorf("monitor: %w", err)
+	}
+
+	// Inject known volumes from two clients behind different ingress
+	// routers.
+	volumes := map[int]int{0: 2000, len(domain.Clients) - 1: 700}
+	for clientIdx, count := range volumes {
+		client := domain.Clients[clientIdx]
+		for i := 0; i < count; i++ {
+			at := sim.Time(i) * 400 * sim.Microsecond
+			sched.ScheduleAt(at, func(sim.Time) {
+				pkt := &netsim.Packet{
+					ID: domain.Net.NextPacketID(),
+					Label: netsim.FlowLabel{
+						SrcIP: client.PrimaryIP(), DstIP: domain.VictimIP(),
+						SrcPort: 4000, DstPort: 80,
+					},
+					Kind: netsim.KindData, Proto: netsim.ProtoTCP, Size: 500,
+				}
+				client.Send(pkt)
+			})
+		}
+	}
+	if err := sched.Run(); err != nil {
+		return fmt.Errorf("run: %w", err)
+	}
+
+	report := monitor.Compute(sched.Now())
+	fmt.Println("set-union counting traffic matrix (one epoch)")
+	fmt.Printf("victim router |D_j| estimate: %.0f distinct packets (ground truth %d)\n",
+		report.DestEstimates[domain.LastHop.ID()], 2700)
+	fmt.Println("top contributors toward the victim router:")
+	for _, cell := range report.TopSources(domain.LastHop.ID()) {
+		var truth int
+		for clientIdx, count := range volumes {
+			if domain.IngressOf(domain.Clients[clientIdx]).ID() == cell.Source {
+				truth += count
+			}
+		}
+		fmt.Printf("  ingress router %-3d a_ij ≈ %6.0f packets (ground truth %d)\n",
+			cell.Source, cell.Packets, truth)
+	}
+	fmt.Printf("\nsketch memory: %d buckets/router (LogLog standard error ≈ %.1f%%)\n",
+		2048, 1.30/45.25*100)
+	return nil
+}
+
+// time500ms keeps the epoch long enough that the whole injection fits into a
+// single measurement period.
+func time500ms() sim.Time { return 1500 * sim.Millisecond }

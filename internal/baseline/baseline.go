@@ -1,0 +1,105 @@
+// Package baseline implements the non-adaptive comparator MAFIC is measured
+// against: the proportionate packet dropping used by the authors' earlier
+// set-union counting pushback work (paper Section II), in which every packet
+// destined to the victim — legitimate or malicious — is dropped with the same
+// probability at the attack-transit routers.
+package baseline
+
+import (
+	"errors"
+	"fmt"
+
+	"mafic/internal/netsim"
+	"mafic/internal/sim"
+)
+
+// FilterName is the name the dropper registers under in drop accounting.
+const FilterName = "proportional"
+
+// ErrConfig is returned for invalid configurations.
+var ErrConfig = errors.New("baseline: invalid configuration")
+
+// Stats aggregates the dropper's counters.
+type Stats struct {
+	// Examined counts victim-bound data packets inspected while active.
+	Examined uint64
+	// Dropped counts inspected packets discarded.
+	Dropped uint64
+	// Forwarded counts inspected packets passed on.
+	Forwarded uint64
+}
+
+// Dropper drops every victim-bound data packet with a fixed probability,
+// regardless of the flow it belongs to. It implements netsim.Filter.
+type Dropper struct {
+	probability float64
+	router      *netsim.Router
+	rng         *sim.RNG
+
+	active   bool
+	victimIP netsim.IP
+	stats    Stats
+	observer func(pkt *netsim.Packet, now sim.Time)
+}
+
+var _ netsim.Filter = (*Dropper)(nil)
+
+// NewDropper creates a proportional dropper bound to a router.
+func NewDropper(probability float64, router *netsim.Router, rng *sim.RNG) (*Dropper, error) {
+	if probability < 0 || probability > 1 {
+		return nil, fmt.Errorf("%w: probability %v", ErrConfig, probability)
+	}
+	if router == nil {
+		return nil, fmt.Errorf("%w: nil router", ErrConfig)
+	}
+	if rng == nil {
+		rng = router.Network().RNG().Fork()
+	}
+	return &Dropper{probability: probability, router: router, rng: rng}, nil
+}
+
+// Name implements netsim.Filter.
+func (p *Dropper) Name() string { return FilterName }
+
+// Stats returns a snapshot of the dropper's counters.
+func (p *Dropper) Stats() Stats { return p.stats }
+
+// Active reports whether the dropper is currently discarding packets.
+func (p *Dropper) Active() bool { return p.active }
+
+// Probability returns the configured drop probability.
+func (p *Dropper) Probability() float64 { return p.probability }
+
+// Activate starts dropping packets destined to victim.
+func (p *Dropper) Activate(victim netsim.IP) {
+	p.active = true
+	p.victimIP = victim
+}
+
+// Deactivate stops dropping.
+func (p *Dropper) Deactivate() { p.active = false }
+
+// SetDropObserver installs a callback invoked on every drop (metrics).
+func (p *Dropper) SetDropObserver(fn func(pkt *netsim.Packet, now sim.Time)) { p.observer = fn }
+
+// Handle implements netsim.Filter.
+func (p *Dropper) Handle(pkt *netsim.Packet, now sim.Time, _ *netsim.Router) netsim.Action {
+	if !p.active || pkt.Kind != netsim.KindData || pkt.Label.DstIP != p.victimIP {
+		return netsim.ActionForward
+	}
+	// Like the MAFIC defender, the proportional dropper polices only the
+	// traffic entering the domain at this router.
+	if pkt.Hops > 0 {
+		return netsim.ActionForward
+	}
+	p.stats.Examined++
+	if p.rng.Bool(p.probability) {
+		p.stats.Dropped++
+		if p.observer != nil {
+			p.observer(pkt, now)
+		}
+		return netsim.ActionDrop
+	}
+	p.stats.Forwarded++
+	return netsim.ActionForward
+}

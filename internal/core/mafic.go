@@ -1,0 +1,426 @@
+// Package core implements the MAFIC algorithm itself — MAlicious Flow
+// Identification and Cutoff (paper Section III): adaptive probabilistic
+// dropping of victim-bound packets at an attack-transit router, duplicated
+// ACK probing of flow sources, and classification of each flow into the
+// Nice Flow Table or Permanently Drop Table depending on whether its arrival
+// rate backs off within the 2×RTT probing window.
+//
+// The Defender type attaches to a router as a packet filter and mirrors the
+// control flow of the paper's Figure 2 exactly; see Handle.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"mafic/internal/flowtable"
+	"mafic/internal/netsim"
+	"mafic/internal/sim"
+)
+
+// FilterName is the name the defender registers under in drop accounting.
+const FilterName = "mafic"
+
+// Config tunes a MAFIC defender. The zero value is not usable; start from
+// DefaultConfig.
+type Config struct {
+	// DropProbability is P_d, the probability with which packets of
+	// unclassified and suspicious flows are dropped (paper default 0.9).
+	DropProbability float64
+	// RTT is the round-trip-time estimate used to size the probing
+	// window. The paper reads it from TCP timestamps; the simulator uses
+	// a configured estimate derived from the topology.
+	RTT sim.Time
+	// ProbeWindowRTTs is the probing window length in RTTs (paper: 2).
+	ProbeWindowRTTs float64
+	// ProbeDelayRTTs is how long after a flow enters the SFT the
+	// duplicated-ACK probe is injected, in RTTs. The interval before the
+	// probe measures the flow's undisturbed arrival rate; the interval
+	// after it measures the reaction. The default of 1 RTT splits the
+	// paper's 2×RTT window evenly.
+	ProbeDelayRTTs float64
+	// ResponseFactor is the maximum ratio of second-half to first-half
+	// arrivals for a flow to be considered responsive (it backed off).
+	ResponseFactor float64
+	// MinProbePackets is the minimum number of packets that must arrive
+	// during the probing window before a flow can be condemned; sparser
+	// flows get the benefit of the doubt and are promoted. This keeps
+	// low-rate legitimate flows out of the PDT.
+	MinProbePackets int
+	// DupAcks is how many duplicated ACK probes are sent toward a flow's
+	// source when it enters the SFT (3 triggers TCP fast retransmit).
+	DupAcks int
+	// ProbeSize is the wire size of each probe packet in bytes.
+	ProbeSize int
+	// TableCapacity bounds each of the SFT/NFT/PDT; zero is unbounded.
+	TableCapacity int
+}
+
+// DefaultConfig returns the paper's default parameters (Table II: P_d = 90%,
+// probing window = 2×RTT) with simulator-appropriate auxiliary settings.
+func DefaultConfig() Config {
+	return Config{
+		DropProbability: 0.90,
+		RTT:             40 * sim.Millisecond,
+		ProbeWindowRTTs: 2,
+		ProbeDelayRTTs:  1,
+		ResponseFactor:  0.70,
+		MinProbePackets: 4,
+		DupAcks:         3,
+		ProbeSize:       40,
+		TableCapacity:   0,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.DropProbability < 0 || c.DropProbability > 1 {
+		return fmt.Errorf("%w: drop probability %v", ErrConfig, c.DropProbability)
+	}
+	if c.RTT <= 0 {
+		return fmt.Errorf("%w: RTT must be positive", ErrConfig)
+	}
+	if c.ProbeWindowRTTs <= 0 {
+		return fmt.Errorf("%w: probe window must be positive", ErrConfig)
+	}
+	if c.DupAcks < 0 {
+		return fmt.Errorf("%w: dup-ACK count must be non-negative", ErrConfig)
+	}
+	return nil
+}
+
+// ErrConfig is returned for invalid configurations.
+var ErrConfig = errors.New("mafic: invalid configuration")
+
+// probeWindow returns the length of the probing window.
+func (c Config) probeWindow() sim.Time {
+	return sim.Time(float64(c.RTT) * c.ProbeWindowRTTs)
+}
+
+// probeDelay returns how long after SFT insertion the probe is injected,
+// clamped inside the probing window.
+func (c Config) probeDelay() sim.Time {
+	delayRTTs := c.ProbeDelayRTTs
+	if delayRTTs <= 0 || delayRTTs >= c.ProbeWindowRTTs {
+		delayRTTs = c.ProbeWindowRTTs / 2
+	}
+	return sim.Time(float64(c.RTT) * delayRTTs)
+}
+
+// DropReason explains why the defender discarded a packet.
+type DropReason int
+
+// Drop reasons.
+const (
+	// DropIllegalSource marks drops of packets with unroutable sources.
+	DropIllegalSource DropReason = iota + 1
+	// DropPermanent marks drops of flows already condemned to the PDT.
+	DropPermanent
+	// DropProbing marks probabilistic drops during the probing phase
+	// (first-sight and SFT packets).
+	DropProbing
+)
+
+// String implements fmt.Stringer.
+func (r DropReason) String() string {
+	switch r {
+	case DropIllegalSource:
+		return "illegal-source"
+	case DropPermanent:
+		return "pdt"
+	case DropProbing:
+		return "probing"
+	default:
+		return "unknown"
+	}
+}
+
+// DropObserver receives a callback for every packet the defender drops,
+// with the reason. Metrics collection uses it to attribute collateral damage
+// (the packet's ground-truth fields are visible to the observer but never to
+// the defender's own decisions).
+type DropObserver func(pkt *netsim.Packet, reason DropReason, now sim.Time)
+
+// Stats aggregates a defender's packet- and flow-level counters.
+type Stats struct {
+	// Examined counts victim-bound data packets inspected while active.
+	Examined uint64
+	// Forwarded counts inspected packets passed on toward the victim.
+	Forwarded uint64
+	// Dropped counts inspected packets discarded, split by reason below.
+	Dropped uint64
+	// DroppedIllegal counts drops due to unroutable source addresses.
+	DroppedIllegal uint64
+	// DroppedPDT counts drops of flows already in the PDT.
+	DroppedPDT uint64
+	// DroppedProbing counts probabilistic drops of SFT / first-sight
+	// packets during the probing phase.
+	DroppedProbing uint64
+	// ProbesSent counts duplicated-ACK probe packets injected.
+	ProbesSent uint64
+	// FlowsProbed counts flows that entered the SFT.
+	FlowsProbed uint64
+	// FlowsNice counts flows promoted to the NFT.
+	FlowsNice uint64
+	// FlowsCondemned counts flows moved to the PDT after probing.
+	FlowsCondemned uint64
+	// FlowsIllegal counts flows sent straight to the PDT for illegal
+	// source addresses.
+	FlowsIllegal uint64
+}
+
+// Defender is a per-ATR MAFIC engine. It implements netsim.Filter; attach it
+// to the router identified as an attack-transit router and call Activate
+// when the pushback request arrives.
+type Defender struct {
+	cfg    Config
+	router *netsim.Router
+	rng    *sim.RNG
+	tables *flowtable.Tables
+
+	active    bool
+	victimIP  netsim.IP
+	stats     Stats
+	probeSeqs uint64
+	observer  DropObserver
+}
+
+var _ netsim.Filter = (*Defender)(nil)
+
+// NewDefender creates a defender bound to the given router. The router's
+// network supplies the scheduler, the routability oracle and packet IDs.
+func NewDefender(cfg Config, router *netsim.Router, rng *sim.RNG) (*Defender, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if router == nil {
+		return nil, fmt.Errorf("%w: nil router", ErrConfig)
+	}
+	if rng == nil {
+		rng = router.Network().RNG().Fork()
+	}
+	return &Defender{
+		cfg:    cfg,
+		router: router,
+		rng:    rng,
+		tables: flowtable.New(cfg.TableCapacity),
+	}, nil
+}
+
+// Name implements netsim.Filter.
+func (d *Defender) Name() string { return FilterName }
+
+// Router returns the router the defender protects.
+func (d *Defender) Router() *netsim.Router { return d.router }
+
+// Config returns the defender's configuration.
+func (d *Defender) Config() Config { return d.cfg }
+
+// Stats returns a snapshot of the defender's counters.
+func (d *Defender) Stats() Stats { return d.stats }
+
+// Tables exposes the flow tables for inspection (tests, diagnostics).
+func (d *Defender) Tables() *flowtable.Tables { return d.tables }
+
+// Active reports whether adaptive dropping is currently enabled.
+func (d *Defender) Active() bool { return d.active }
+
+// SetDropObserver installs a callback invoked on every drop. Pass nil to
+// remove it.
+func (d *Defender) SetDropObserver(fn DropObserver) { d.observer = fn }
+
+// drop records a drop of the given reason and notifies the observer.
+func (d *Defender) drop(pkt *netsim.Packet, reason DropReason, now sim.Time) netsim.Action {
+	d.stats.Dropped++
+	switch reason {
+	case DropIllegalSource:
+		d.stats.DroppedIllegal++
+	case DropPermanent:
+		d.stats.DroppedPDT++
+	case DropProbing:
+		d.stats.DroppedProbing++
+	}
+	if d.observer != nil {
+		d.observer(pkt, reason, now)
+	}
+	return netsim.ActionDrop
+}
+
+// VictimIP reports the destination address currently protected.
+func (d *Defender) VictimIP() netsim.IP { return d.victimIP }
+
+// Activate starts adaptive dropping of packets destined to victim. Calling
+// it again with a different victim switches targets and flushes state.
+func (d *Defender) Activate(victim netsim.IP) {
+	if d.active && victim == d.victimIP {
+		return
+	}
+	d.active = true
+	d.victimIP = victim
+	d.tables.Flush()
+}
+
+// Deactivate ends dropping and flushes all tables, as the paper specifies
+// for pushback withdrawal ("End dropping & Flush all tables").
+func (d *Defender) Deactivate() {
+	d.active = false
+	d.tables.Flush()
+}
+
+// Handle implements the per-packet control flow of the paper's Figure 2.
+func (d *Defender) Handle(pkt *netsim.Packet, now sim.Time, at *netsim.Router) netsim.Action {
+	if !d.active {
+		return netsim.ActionForward
+	}
+	// Only victim-bound data traffic is subject to adaptive dropping;
+	// reverse-path ACKs, probes and control traffic pass through.
+	if pkt.Kind != netsim.KindData || pkt.Label.DstIP != d.victimIP {
+		return netsim.ActionForward
+	}
+	// An ATR polices the traffic that enters the domain through it
+	// (paper Figure 1); packets merely transiting from another ingress
+	// are left to that ingress's own defender.
+	if pkt.Hops > 0 {
+		return netsim.ActionForward
+	}
+	d.stats.Examined++
+
+	// Illegal or unreachable source addresses go straight to the PDT:
+	// they belong to no legitimate application (Section III-A).
+	if !at.Network().IsRoutable(pkt.Label.SrcIP) {
+		labelHash := pkt.Label.Hash()
+		if _, state := d.tables.Lookup(labelHash); state != flowtable.StatePermanentDrop {
+			d.stats.FlowsIllegal++
+		}
+		e := d.tables.InsertPermanent(labelHash, now)
+		e.Packets++
+		e.Dropped++
+		e.LastSeen = now
+		return d.drop(pkt, DropIllegalSource, now)
+	}
+
+	labelHash := pkt.Label.Hash()
+	entry, state := d.tables.Lookup(labelHash)
+	switch state {
+	case flowtable.StatePermanentDrop:
+		entry.Packets++
+		entry.Dropped++
+		entry.LastSeen = now
+		return d.drop(pkt, DropPermanent, now)
+
+	case flowtable.StateNice:
+		entry.Packets++
+		entry.LastSeen = now
+		d.stats.Forwarded++
+		return netsim.ActionForward
+
+	case flowtable.StateSuspicious:
+		entry.Packets++
+		entry.LastSeen = now
+		d.recordProbeSample(entry, now)
+		if d.rng.Bool(d.cfg.DropProbability) {
+			entry.Dropped++
+			return d.drop(pkt, DropProbing, now)
+		}
+		d.stats.Forwarded++
+		return netsim.ActionForward
+
+	default: // first sight of this flow
+		if !d.rng.Bool(d.cfg.DropProbability) {
+			d.stats.Forwarded++
+			return netsim.ActionForward
+		}
+		d.beginProbe(pkt, labelHash, now)
+		return d.drop(pkt, DropProbing, now)
+	}
+}
+
+// beginProbe inserts the flow into the SFT, schedules the duplicated-ACK
+// probes toward the claimed source, and schedules the classification timer
+// at the end of the probing window. The probe is injected ProbeDelayRTTs
+// after insertion so the interval before it captures the flow's undisturbed
+// arrival rate and the interval after it captures the reaction.
+func (d *Defender) beginProbe(pkt *netsim.Packet, labelHash uint64, now sim.Time) {
+	window := d.cfg.probeWindow()
+	entry := d.tables.InsertSuspicious(labelHash, now, now+window)
+	entry.Packets++
+	entry.Dropped++
+	entry.BaselineCount++
+	d.stats.FlowsProbed++
+
+	sched := d.router.Network().Scheduler()
+	probeLabel := pkt.Label
+	probeProto := pkt.Proto
+	probeSeq := pkt.Seq
+	sched.ScheduleAt(now+d.cfg.probeDelay(), func(sim.Time) {
+		if !d.active || entry.State != flowtable.StateSuspicious {
+			return
+		}
+		d.sendDupAcks(probeLabel, probeProto, probeSeq)
+	})
+	sched.ScheduleAt(entry.ProbeDeadline, func(at sim.Time) {
+		d.classify(entry, at)
+	})
+}
+
+// recordProbeSample counts an arrival into the pre-probe (baseline) or
+// post-probe (response) interval of the flow's probing window. The two
+// counts are compared at classification time: a source that reacted to the
+// probe shows a clear drop in the response interval.
+func (d *Defender) recordProbeSample(entry *flowtable.Entry, now sim.Time) {
+	probeAt := entry.ProbeStart + d.cfg.probeDelay()
+	if now < probeAt {
+		entry.BaselineCount++
+	} else if now < entry.ProbeDeadline {
+		entry.ResponseCount++
+	}
+}
+
+// classify decides the fate of a probed flow when its window closes.
+func (d *Defender) classify(entry *flowtable.Entry, _ sim.Time) {
+	if !d.active || entry.State != flowtable.StateSuspicious {
+		return
+	}
+	total := entry.BaselineCount + entry.ResponseCount
+	responsive := false
+	switch {
+	case total < d.cfg.MinProbePackets:
+		// Too few packets to judge: a flow this sparse is not part of
+		// a flooding attack, so give it the benefit of the doubt.
+		responsive = true
+	case entry.BaselineCount == 0:
+		// Everything arrived late in the window: the flow did not back
+		// off after the probe.
+		responsive = false
+	default:
+		responsive = float64(entry.ResponseCount) <= d.cfg.ResponseFactor*float64(entry.BaselineCount)
+	}
+	if responsive {
+		d.tables.Promote(entry)
+		d.stats.FlowsNice++
+		return
+	}
+	d.tables.Condemn(entry)
+	d.stats.FlowsCondemned++
+}
+
+// sendDupAcks injects the configured number of duplicated ACK probes toward
+// the flow's claimed source. The probes are addressed from the victim so
+// that, at a genuine TCP sender, they are indistinguishable from real
+// duplicate acknowledgements and trigger fast-retransmit rate reduction.
+func (d *Defender) sendDupAcks(label netsim.FlowLabel, proto netsim.Protocol, seq int64) {
+	net := d.router.Network()
+	for i := 0; i < d.cfg.DupAcks; i++ {
+		d.probeSeqs++
+		probe := &netsim.Packet{
+			ID:    net.NextPacketID(),
+			Label: label.Reverse(),
+			Kind:  netsim.KindDupAck,
+			Proto: proto,
+			Seq:   seq,
+			Size:  d.cfg.ProbeSize,
+		}
+		d.router.Inject(probe)
+		d.stats.ProbesSent++
+	}
+}

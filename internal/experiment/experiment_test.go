@@ -1,0 +1,269 @@
+package experiment
+
+import (
+	"errors"
+	"testing"
+
+	"mafic/internal/sim"
+)
+
+// quickScenario returns a scaled-down scenario that still exercises the full
+// pipeline (detection, probing, classification) but runs in well under a
+// second of wall time.
+func quickScenario() Scenario {
+	s := DefaultScenario()
+	s.Topology.NumRouters = 16
+	s.Topology.ExtraChords = 4
+	s.Topology.BystanderHosts = 8
+	s.Workload.TotalFlows = 20
+	s.Duration = 1800 * sim.Millisecond
+	s.Workload.AttackStart = 600 * sim.Millisecond
+	s.DetectionFallback = 300 * sim.Millisecond
+	return s
+}
+
+func TestDefaultScenarioValidates(t *testing.T) {
+	if err := DefaultScenario().Validate(); err != nil {
+		t.Fatalf("default scenario invalid: %v", err)
+	}
+}
+
+func TestScenarioValidateErrors(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Scenario)
+	}{
+		{name: "zero duration", mutate: func(s *Scenario) { s.Duration = 0 }},
+		{name: "bad defense", mutate: func(s *Scenario) { s.Defense = DefenseKind(99) }},
+		{name: "bad workload", mutate: func(s *Scenario) { s.Workload.TotalFlows = 0 }},
+		{name: "bad mafic", mutate: func(s *Scenario) { s.MAFIC.DropProbability = 2 }},
+		{name: "attack after end", mutate: func(s *Scenario) { s.Workload.AttackStart = s.Duration + sim.Second }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			s := DefaultScenario()
+			tt.mutate(&s)
+			if err := s.Validate(); !errors.Is(err, ErrScenario) {
+				t.Fatalf("want ErrScenario, got %v", err)
+			}
+		})
+	}
+}
+
+func TestDefenseKindString(t *testing.T) {
+	tests := []struct {
+		kind DefenseKind
+		want string
+	}{
+		{DefenseMAFIC, "mafic"},
+		{DefenseBaseline, "proportional"},
+		{DefenseNone, "none"},
+		{DefenseKind(42), "unknown"},
+	}
+	for _, tt := range tests {
+		if got := tt.kind.String(); got != tt.want {
+			t.Fatalf("DefenseKind(%d) = %q, want %q", tt.kind, got, tt.want)
+		}
+	}
+}
+
+func TestRunMAFICScenario(t *testing.T) {
+	res, err := Run(quickScenario())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.Activated {
+		t.Fatal("defense never activated")
+	}
+	if res.Accuracy < 0.90 {
+		t.Fatalf("accuracy = %.3f, want >= 0.90", res.Accuracy)
+	}
+	if res.FalseNegativeRate > 0.10 {
+		t.Fatalf("θn = %.3f, want <= 0.10", res.FalseNegativeRate)
+	}
+	if res.FalsePositiveRate > 0.02 {
+		t.Fatalf("θp = %.3f, want <= 0.02", res.FalsePositiveRate)
+	}
+	if res.LegitimateDropRate > 0.20 {
+		t.Fatalf("Lr = %.3f, want <= 0.20", res.LegitimateDropRate)
+	}
+	if res.TrafficReduction < 0.5 {
+		t.Fatalf("β = %.3f, want >= 0.5", res.TrafficReduction)
+	}
+	if res.DefenseStats.FlowsProbed == 0 || res.DefenseStats.FlowsCondemned == 0 {
+		t.Fatal("no flows were probed or condemned")
+	}
+	if res.Counts.ATRAttackPost == 0 {
+		t.Fatal("no attack packets observed post-activation")
+	}
+	if len(res.Series) == 0 {
+		t.Fatal("victim bandwidth series empty")
+	}
+	if res.EventsProcessed == 0 {
+		t.Fatal("no events processed")
+	}
+}
+
+func TestRunIsDeterministic(t *testing.T) {
+	s := quickScenario()
+	a, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Accuracy != b.Accuracy || a.Counts != b.Counts || a.EventsProcessed != b.EventsProcessed {
+		t.Fatal("identical scenarios produced different results")
+	}
+	s.Seed = 999
+	c, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Counts == a.Counts {
+		t.Fatal("different seeds produced identical raw counts")
+	}
+}
+
+func TestRunBaselineHasMoreCollateralDamage(t *testing.T) {
+	s := quickScenario()
+	maficRes, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Defense = DefenseBaseline
+	baseRes, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The proportional dropper keeps dropping legitimate packets for the
+	// whole run, so its collateral damage must clearly exceed MAFIC's.
+	if baseRes.LegitimateDropRate <= maficRes.LegitimateDropRate {
+		t.Fatalf("baseline Lr (%.3f) should exceed MAFIC Lr (%.3f)",
+			baseRes.LegitimateDropRate, maficRes.LegitimateDropRate)
+	}
+	if baseRes.FalsePositiveRate <= maficRes.FalsePositiveRate {
+		t.Fatalf("baseline θp (%.4f) should exceed MAFIC θp (%.4f)",
+			baseRes.FalsePositiveRate, maficRes.FalsePositiveRate)
+	}
+}
+
+func TestRunWithoutDefense(t *testing.T) {
+	s := quickScenario()
+	s.Defense = DefenseNone
+	res, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accuracy != 0 {
+		t.Fatal("undefended run should drop nothing")
+	}
+	if res.Counts.DropAttack != 0 || res.Counts.DropLegitProbing != 0 {
+		t.Fatal("undefended run recorded defense drops")
+	}
+}
+
+func TestRunDetectionIdentifiesAttackIngress(t *testing.T) {
+	res, err := Run(quickScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.DetectedByPushback {
+		t.Fatal("the default attack should be detected by the pushback layer, not the fallback")
+	}
+	if res.ATRCount == 0 {
+		t.Fatal("no ATRs identified")
+	}
+	if res.ActivationSeconds <= quickScenario().Workload.AttackStart.Seconds() {
+		t.Fatal("activation should happen after the attack starts")
+	}
+}
+
+func TestRunFallbackActivation(t *testing.T) {
+	s := quickScenario()
+	// Cripple detection so only the scheduled fallback can activate.
+	s.Pushback.HistoryFactor = 1000
+	s.Pushback.AbsoluteThreshold = 0
+	s.Pushback.RelativeFactor = 0
+	res, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Activated || res.DetectedByPushback {
+		t.Fatal("fallback should have activated the defense")
+	}
+	if res.Accuracy < 0.85 {
+		t.Fatalf("accuracy via fallback = %.3f, want >= 0.85", res.Accuracy)
+	}
+}
+
+func TestRunInvalidScenario(t *testing.T) {
+	s := quickScenario()
+	s.Duration = 0
+	if _, err := Run(s); !errors.Is(err, ErrScenario) {
+		t.Fatalf("want ErrScenario, got %v", err)
+	}
+}
+
+func TestGenerateQuickFigures(t *testing.T) {
+	// Generating every figure in Quick mode is the closest thing to an
+	// end-to-end test of the whole harness. Keep the base scenario small
+	// so the full set stays fast.
+	base := quickScenario()
+	opts := SweepOptions{Quick: true, Seed: 7, Base: &base}
+	for _, id := range AllFigureIDs() {
+		id := id
+		t.Run(string(id), func(t *testing.T) {
+			fig, err := Generate(id, opts)
+			if err != nil {
+				t.Fatalf("Generate(%s): %v", id, err)
+			}
+			if len(fig.Series) == 0 {
+				t.Fatal("figure has no series")
+			}
+			for _, s := range fig.Series {
+				if len(s.Points) == 0 {
+					t.Fatalf("series %q has no points", s.Label)
+				}
+			}
+			if fig.ID == "" || fig.Title == "" || fig.XLabel == "" || fig.YLabel == "" {
+				t.Fatal("figure metadata incomplete")
+			}
+		})
+	}
+}
+
+func TestGenerateUnknownFigure(t *testing.T) {
+	if _, err := Generate(FigureID("nope"), SweepOptions{Quick: true}); !errors.Is(err, ErrScenario) {
+		t.Fatalf("want ErrScenario, got %v", err)
+	}
+}
+
+func TestFig3aAccuracyShape(t *testing.T) {
+	base := quickScenario()
+	fig, err := Fig3a(SweepOptions{Quick: true, Base: &base})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper reports accuracy consistently above 99%; with the scaled
+	// simulation we accept anything above 90% but require every point to
+	// be high and the Pd=90% series to dominate the Pd=70% series on
+	// average.
+	means := map[string]float64{}
+	for _, s := range fig.Series {
+		sum := 0.0
+		for _, p := range s.Points {
+			if p.Y < 90 {
+				t.Fatalf("series %s point %v has accuracy %.2f%% < 90%%", s.Label, p.X, p.Y)
+			}
+			sum += p.Y
+		}
+		means[s.Label] = sum / float64(len(s.Points))
+	}
+	if means["Pd=90%"] < means["Pd=70%"] {
+		t.Fatalf("Pd=90%% accuracy (%.2f) should not be below Pd=70%% (%.2f)",
+			means["Pd=90%"], means["Pd=70%"])
+	}
+}

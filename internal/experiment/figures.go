@@ -1,0 +1,545 @@
+package experiment
+
+import (
+	"fmt"
+
+	"mafic/internal/sim"
+)
+
+// Point is one (x, y) sample of a figure series.
+type Point struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// Series is one labelled curve of a figure.
+type Series struct {
+	Label  string  `json:"label"`
+	Points []Point `json:"points"`
+}
+
+// Figure is the regenerated data behind one figure panel of the paper.
+type Figure struct {
+	ID     string   `json:"id"`
+	Title  string   `json:"title"`
+	XLabel string   `json:"xLabel"`
+	YLabel string   `json:"yLabel"`
+	Series []Series `json:"series"`
+}
+
+// SweepOptions controls the resolution of the parameter sweeps so the same
+// generators serve both the full CLI reproduction and the quick benchmarks.
+type SweepOptions struct {
+	// Quick reduces the number of sweep points and the simulated time so
+	// a figure regenerates in a fraction of the full cost.
+	Quick bool
+	// Seed is the base seed; every run derives its own seed from it so
+	// sweep points are independent but reproducible.
+	Seed int64
+	// Base overrides the base scenario. Nil means DefaultScenario.
+	Base *Scenario
+}
+
+// base returns the scenario every sweep point starts from.
+func (o SweepOptions) base() Scenario {
+	if o.Base != nil {
+		return *o.Base
+	}
+	s := DefaultScenario()
+	if o.Quick {
+		s.Duration = 1800 * sim.Millisecond
+		s.Workload.AttackStart = 600 * sim.Millisecond
+		s.DetectionFallback = 300 * sim.Millisecond
+	}
+	if o.Seed != 0 {
+		s.Seed = o.Seed
+	}
+	return s
+}
+
+// volumes returns the traffic-volume sweep (x axis of most figures).
+func (o SweepOptions) volumes() []int {
+	if o.Quick {
+		return []int{20, 60, 100}
+	}
+	return []int{10, 30, 50, 70, 90, 110}
+}
+
+// tcpShares returns the Γ sweep used by Figures 5(b) and 6(b).
+func (o SweepOptions) tcpShares() []float64 {
+	if o.Quick {
+		return []float64{0.35, 0.65, 0.95}
+	}
+	return []float64{0.10, 0.25, 0.40, 0.55, 0.70, 0.85, 0.95}
+}
+
+// domainSizes returns the N sweep used by Figures 5(c) and 6(c).
+func (o SweepOptions) domainSizes() []int {
+	if o.Quick {
+		return []int{20, 60, 120}
+	}
+	return []int{20, 40, 80, 120, 160}
+}
+
+// dropProbabilities are the P_d series used throughout the evaluation.
+var dropProbabilities = []float64{0.70, 0.80, 0.90}
+
+// attackRates maps the paper's R legend values (packets/s) to their labels;
+// simulated rates are the legend value divided by RateScale.
+var attackRates = []struct {
+	label string
+	pps   float64
+}{
+	{label: "R=100k", pps: 1e5},
+	{label: "R=500k", pps: 5e5},
+	{label: "R=1M", pps: 1e6},
+}
+
+// runPoint runs one sweep point and returns its result; errors propagate so
+// a broken configuration fails the whole figure loudly.
+func runPoint(s Scenario, seedOffset int64) (Result, error) {
+	s.Seed += seedOffset
+	return Run(s)
+}
+
+// sweepVolumesByPd produces one series per P_d over the traffic-volume sweep,
+// extracting the y value with pick.
+func sweepVolumesByPd(opts SweepOptions, pick func(Result) float64) ([]Series, error) {
+	var out []Series
+	for _, pd := range dropProbabilities {
+		series := Series{Label: fmt.Sprintf("Pd=%.0f%%", pd*100)}
+		for i, vt := range opts.volumes() {
+			s := opts.base()
+			s.Name = fmt.Sprintf("pd%.0f-vt%d", pd*100, vt)
+			s.MAFIC.DropProbability = pd
+			s.Workload.TotalFlows = vt
+			res, err := runPoint(s, int64(i)+int64(pd*1000))
+			if err != nil {
+				return nil, err
+			}
+			series.Points = append(series.Points, Point{X: float64(vt), Y: pick(res)})
+		}
+		out = append(out, series)
+	}
+	return out, nil
+}
+
+// Fig3a regenerates Figure 3(a): attack-packet dropping accuracy versus
+// traffic volume for P_d ∈ {70, 80, 90}%.
+func Fig3a(opts SweepOptions) (Figure, error) {
+	series, err := sweepVolumesByPd(opts, func(r Result) float64 { return r.Accuracy * 100 })
+	if err != nil {
+		return Figure{}, err
+	}
+	return Figure{
+		ID:     "fig3a",
+		Title:  "Attack packet dropping accuracy vs. traffic volume (by Pd)",
+		XLabel: "Total Traffic Volume (No. of Flows)",
+		YLabel: "Attacking Packets Dropping Accuracy (%)",
+		Series: series,
+	}, nil
+}
+
+// Fig3b regenerates Figure 3(b): dropping accuracy versus traffic volume for
+// source rates R ∈ {100k, 500k, 1M} packets/s.
+func Fig3b(opts SweepOptions) (Figure, error) {
+	var out []Series
+	for ri, r := range attackRates {
+		series := Series{Label: r.label}
+		for i, vt := range opts.volumes() {
+			s := opts.base()
+			s.Name = fmt.Sprintf("%s-vt%d", r.label, vt)
+			s.Workload.AttackRate = r.pps / RateScale
+			s.Workload.TotalFlows = vt
+			res, err := runPoint(s, int64(i)+int64(ri)*100)
+			if err != nil {
+				return Figure{}, err
+			}
+			series.Points = append(series.Points, Point{X: float64(vt), Y: res.Accuracy * 100})
+		}
+		out = append(out, series)
+	}
+	return Figure{
+		ID:     "fig3b",
+		Title:  "Attack packet dropping accuracy vs. traffic volume (by source rate)",
+		XLabel: "Total Traffic Volume (No. of Flows)",
+		YLabel: "Attacking Packets Dropping Accuracy (%)",
+		Series: out,
+	}, nil
+}
+
+// Fig4a regenerates Figure 4(a): traffic reduction rate versus traffic
+// volume for P_d ∈ {70, 80, 90}%.
+func Fig4a(opts SweepOptions) (Figure, error) {
+	series, err := sweepVolumesByPd(opts, func(r Result) float64 { return r.TrafficReduction * 100 })
+	if err != nil {
+		return Figure{}, err
+	}
+	return Figure{
+		ID:     "fig4a",
+		Title:  "Traffic reduction rate vs. traffic volume (by Pd)",
+		XLabel: "Total Traffic Volume (No. of Flows)",
+		YLabel: "Traffic Reduction Rate (%)",
+		Series: series,
+	}, nil
+}
+
+// Fig4b regenerates Figure 4(b): the victim-side flow bandwidth over time
+// for V_t ∈ {10, 30, 50} flows, showing the cutoff when MAFIC triggers and
+// the recovery of legitimate bandwidth afterwards.
+func Fig4b(opts SweepOptions) (Figure, error) {
+	var out []Series
+	for i, vt := range []int{10, 30, 50} {
+		s := opts.base()
+		s.Name = fmt.Sprintf("timeline-vt%d", vt)
+		s.Workload.TotalFlows = vt
+		// The paper plots seconds 1..3 with the attack already raging;
+		// keep the full timeline here.
+		res, err := runPoint(s, int64(i)*17)
+		if err != nil {
+			return Figure{}, err
+		}
+		series := Series{Label: fmt.Sprintf("Vt=%d", vt)}
+		for _, bin := range res.Series {
+			rate := float64(bin.Total()) / s.BinWidth.Seconds()
+			series.Points = append(series.Points, Point{X: bin.Time.Seconds(), Y: rate})
+		}
+		out = append(out, series)
+	}
+	return Figure{
+		ID:     "fig4b",
+		Title:  "Victim flow bandwidth over time (by number of flows)",
+		XLabel: "Time (second)",
+		YLabel: "Flow Bandwidth (packets/s at victim)",
+		Series: out,
+	}, nil
+}
+
+// Fig5a regenerates Figure 5(a): false positive rate versus traffic volume
+// for P_d ∈ {70, 80, 90}%.
+func Fig5a(opts SweepOptions) (Figure, error) {
+	series, err := sweepVolumesByPd(opts, func(r Result) float64 { return r.FalsePositiveRate * 100 })
+	if err != nil {
+		return Figure{}, err
+	}
+	return Figure{
+		ID:     "fig5a",
+		Title:  "False positive rate vs. traffic volume (by Pd)",
+		XLabel: "Total Traffic Volume (No. of Flows)",
+		YLabel: "False Positive Rate (%)",
+		Series: series,
+	}, nil
+}
+
+// sweepTCPShareByVolume produces one series per traffic volume over the Γ
+// sweep, extracting the y value with pick.
+func sweepTCPShareByVolume(opts SweepOptions, pick func(Result) float64) ([]Series, error) {
+	var out []Series
+	for vi, vt := range []int{30, 70, 100} {
+		series := Series{Label: fmt.Sprintf("Vt=%d", vt)}
+		for i, share := range opts.tcpShares() {
+			s := opts.base()
+			s.Name = fmt.Sprintf("vt%d-tcp%.0f", vt, share*100)
+			s.Workload.TotalFlows = vt
+			s.Workload.TCPShare = share
+			res, err := runPoint(s, int64(vi)*1000+int64(i))
+			if err != nil {
+				return nil, err
+			}
+			series.Points = append(series.Points, Point{X: share * 100, Y: pick(res)})
+		}
+		out = append(out, series)
+	}
+	return out, nil
+}
+
+// Fig5b regenerates Figure 5(b): false positive rate versus percentage of
+// TCP traffic for V_t ∈ {30, 70, 100}.
+func Fig5b(opts SweepOptions) (Figure, error) {
+	series, err := sweepTCPShareByVolume(opts, func(r Result) float64 { return r.FalsePositiveRate * 100 })
+	if err != nil {
+		return Figure{}, err
+	}
+	return Figure{
+		ID:     "fig5b",
+		Title:  "False positive rate vs. percentage of TCP traffic (by Vt)",
+		XLabel: "Percentage of TCP Traffic (%)",
+		YLabel: "False Positive Rate (%)",
+		Series: series,
+	}, nil
+}
+
+// sweepDomainSizeByTCP produces one series per TCP share over the domain
+// size sweep, extracting the y value with pick.
+func sweepDomainSizeByTCP(opts SweepOptions, pick func(Result) float64) ([]Series, error) {
+	var out []Series
+	for ti, share := range []float64{0.95, 0.75, 0.55, 0.35} {
+		series := Series{Label: fmt.Sprintf("TCP=%.0f%%", share*100)}
+		for i, n := range opts.domainSizes() {
+			s := opts.base()
+			s.Name = fmt.Sprintf("n%d-tcp%.0f", n, share*100)
+			s.Topology.NumRouters = n
+			s.Workload.TCPShare = share
+			res, err := runPoint(s, int64(ti)*1000+int64(i))
+			if err != nil {
+				return nil, err
+			}
+			series.Points = append(series.Points, Point{X: float64(n), Y: pick(res)})
+		}
+		out = append(out, series)
+	}
+	return out, nil
+}
+
+// Fig5c regenerates Figure 5(c): false positive rate versus domain size for
+// TCP shares from 35% to 95%.
+func Fig5c(opts SweepOptions) (Figure, error) {
+	series, err := sweepDomainSizeByTCP(opts, func(r Result) float64 { return r.FalsePositiveRate * 100 })
+	if err != nil {
+		return Figure{}, err
+	}
+	return Figure{
+		ID:     "fig5c",
+		Title:  "False positive rate vs. domain size (by TCP share)",
+		XLabel: "Domain Size (No. of Routers)",
+		YLabel: "False Positive Rate (%)",
+		Series: series,
+	}, nil
+}
+
+// Fig6a regenerates Figure 6(a): false negative rate versus traffic volume
+// for P_d ∈ {70, 80, 90}%.
+func Fig6a(opts SweepOptions) (Figure, error) {
+	series, err := sweepVolumesByPd(opts, func(r Result) float64 { return r.FalseNegativeRate * 100 })
+	if err != nil {
+		return Figure{}, err
+	}
+	return Figure{
+		ID:     "fig6a",
+		Title:  "False negative rate vs. traffic volume (by Pd)",
+		XLabel: "Total Traffic Volume (No. of Flows)",
+		YLabel: "False Negative Rate (%)",
+		Series: series,
+	}, nil
+}
+
+// Fig6b regenerates Figure 6(b): false negative rate versus percentage of
+// TCP traffic for V_t ∈ {30, 70, 100}.
+func Fig6b(opts SweepOptions) (Figure, error) {
+	series, err := sweepTCPShareByVolume(opts, func(r Result) float64 { return r.FalseNegativeRate * 100 })
+	if err != nil {
+		return Figure{}, err
+	}
+	return Figure{
+		ID:     "fig6b",
+		Title:  "False negative rate vs. percentage of TCP traffic (by Vt)",
+		XLabel: "Percentage of TCP Traffic (%)",
+		YLabel: "False Negative Rate (%)",
+		Series: series,
+	}, nil
+}
+
+// Fig6c regenerates Figure 6(c): false negative rate versus domain size for
+// TCP shares from 35% to 95%.
+func Fig6c(opts SweepOptions) (Figure, error) {
+	series, err := sweepDomainSizeByTCP(opts, func(r Result) float64 { return r.FalseNegativeRate * 100 })
+	if err != nil {
+		return Figure{}, err
+	}
+	return Figure{
+		ID:     "fig6c",
+		Title:  "False negative rate vs. domain size (by TCP share)",
+		XLabel: "Domain Size (No. of Routers)",
+		YLabel: "False Negative Rate (%)",
+		Series: series,
+	}, nil
+}
+
+// Fig7 regenerates Figure 7: legitimate-packet dropping rate L_r versus
+// traffic volume for P_d ∈ {70, 80, 90}%.
+func Fig7(opts SweepOptions) (Figure, error) {
+	series, err := sweepVolumesByPd(opts, func(r Result) float64 { return r.LegitimateDropRate * 100 })
+	if err != nil {
+		return Figure{}, err
+	}
+	return Figure{
+		ID:     "fig7",
+		Title:  "Legitimate packet dropping rate vs. traffic volume (by Pd)",
+		XLabel: "Total Traffic Volume (No. of Flows)",
+		YLabel: "Legitimate Packet Dropping Rate (%)",
+		Series: series,
+	}, nil
+}
+
+// AblationBaseline compares MAFIC against the proportional dropper (the
+// design point the paper argues against): collateral damage and traffic
+// reduction at the default operating point.
+func AblationBaseline(opts SweepOptions) (Figure, error) {
+	var out []Series
+	configs := []struct {
+		label   string
+		defense DefenseKind
+	}{
+		{label: "MAFIC", defense: DefenseMAFIC},
+		{label: "Proportional", defense: DefenseBaseline},
+	}
+	for ci, cfg := range configs {
+		series := Series{Label: cfg.label}
+		for i, vt := range opts.volumes() {
+			s := opts.base()
+			s.Name = fmt.Sprintf("ablation-%s-vt%d", cfg.label, vt)
+			s.Defense = cfg.defense
+			s.Workload.TotalFlows = vt
+			res, err := runPoint(s, int64(ci)*1000+int64(i))
+			if err != nil {
+				return Figure{}, err
+			}
+			series.Points = append(series.Points, Point{X: float64(vt), Y: res.LegitimateDropRate * 100})
+		}
+		out = append(out, series)
+	}
+	return Figure{
+		ID:     "ablation-baseline",
+		Title:  "Collateral damage: MAFIC vs. proportional dropping",
+		XLabel: "Total Traffic Volume (No. of Flows)",
+		YLabel: "Legitimate Packet Dropping Rate (%)",
+		Series: out,
+	}, nil
+}
+
+// AblationProbeWindow varies the probing window (1×, 2×, 4× RTT) to expose
+// the accuracy / collateral-damage trade-off behind the paper's 2×RTT
+// choice.
+func AblationProbeWindow(opts SweepOptions) (Figure, error) {
+	var out []Series
+	for wi, windows := range []float64{1, 2, 4} {
+		series := Series{Label: fmt.Sprintf("%vxRTT", windows)}
+		for i, vt := range opts.volumes() {
+			s := opts.base()
+			s.Name = fmt.Sprintf("window%v-vt%d", windows, vt)
+			s.MAFIC.ProbeWindowRTTs = windows
+			s.Workload.TotalFlows = vt
+			res, err := runPoint(s, int64(wi)*1000+int64(i))
+			if err != nil {
+				return Figure{}, err
+			}
+			series.Points = append(series.Points, Point{X: float64(vt), Y: res.LegitimateDropRate * 100})
+		}
+		out = append(out, series)
+	}
+	return Figure{
+		ID:     "ablation-probe-window",
+		Title:  "Probing window length vs. collateral damage",
+		XLabel: "Total Traffic Volume (No. of Flows)",
+		YLabel: "Legitimate Packet Dropping Rate (%)",
+		Series: out,
+	}, nil
+}
+
+// AblationPulsingAttack compares MAFIC's effectiveness against a constant
+// flood and against a shrew-style on-off (pulsing) attack of the same peak
+// rate. The paper's related work (HAWK, ref [11]) motivates this extension:
+// pulsing attackers deliberately mimic a responsive source by going silent,
+// which inflates the false-negative rate of any probe-and-watch scheme.
+func AblationPulsingAttack(opts SweepOptions) (Figure, error) {
+	var out []Series
+	modes := []struct {
+		label  string
+		period sim.Time
+		duty   float64
+	}{
+		{label: "constant flood", period: 0, duty: 0},
+		{label: "pulsing 20% duty", period: sim.Second, duty: 0.2},
+		{label: "pulsing 50% duty", period: sim.Second, duty: 0.5},
+	}
+	for mi, mode := range modes {
+		series := Series{Label: mode.label}
+		for i, vt := range opts.volumes() {
+			s := opts.base()
+			s.Name = fmt.Sprintf("pulsing-%d-vt%d", mi, vt)
+			s.Workload.TotalFlows = vt
+			s.Workload.AttackPulsePeriod = mode.period
+			s.Workload.AttackDutyCycle = mode.duty
+			res, err := runPoint(s, int64(mi)*1000+int64(i))
+			if err != nil {
+				return Figure{}, err
+			}
+			series.Points = append(series.Points, Point{X: float64(vt), Y: res.FalseNegativeRate * 100})
+		}
+		out = append(out, series)
+	}
+	return Figure{
+		ID:     "ablation-pulsing",
+		Title:  "False negatives under constant vs. pulsing (shrew-style) attacks",
+		XLabel: "Total Traffic Volume (No. of Flows)",
+		YLabel: "False Negative Rate (%)",
+		Series: out,
+	}, nil
+}
+
+// FigureID identifies one reproducible figure.
+type FigureID string
+
+// The reproducible figure identifiers.
+const (
+	FigureF3a             FigureID = "3a"
+	FigureF3b             FigureID = "3b"
+	FigureF4a             FigureID = "4a"
+	FigureF4b             FigureID = "4b"
+	FigureF5a             FigureID = "5a"
+	FigureF5b             FigureID = "5b"
+	FigureF5c             FigureID = "5c"
+	FigureF6a             FigureID = "6a"
+	FigureF6b             FigureID = "6b"
+	FigureF6c             FigureID = "6c"
+	FigureF7              FigureID = "7"
+	FigureAblationBase    FigureID = "ablation-baseline"
+	FigureAblationProbe   FigureID = "ablation-probe"
+	FigureAblationPulsing FigureID = "ablation-pulsing"
+)
+
+// AllFigureIDs lists every reproducible figure in presentation order.
+func AllFigureIDs() []FigureID {
+	return []FigureID{
+		FigureF3a, FigureF3b, FigureF4a, FigureF4b,
+		FigureF5a, FigureF5b, FigureF5c,
+		FigureF6a, FigureF6b, FigureF6c, FigureF7,
+		FigureAblationBase, FigureAblationProbe, FigureAblationPulsing,
+	}
+}
+
+// Generate produces the named figure.
+func Generate(id FigureID, opts SweepOptions) (Figure, error) {
+	switch id {
+	case FigureF3a:
+		return Fig3a(opts)
+	case FigureF3b:
+		return Fig3b(opts)
+	case FigureF4a:
+		return Fig4a(opts)
+	case FigureF4b:
+		return Fig4b(opts)
+	case FigureF5a:
+		return Fig5a(opts)
+	case FigureF5b:
+		return Fig5b(opts)
+	case FigureF5c:
+		return Fig5c(opts)
+	case FigureF6a:
+		return Fig6a(opts)
+	case FigureF6b:
+		return Fig6b(opts)
+	case FigureF6c:
+		return Fig6c(opts)
+	case FigureF7:
+		return Fig7(opts)
+	case FigureAblationBase:
+		return AblationBaseline(opts)
+	case FigureAblationProbe:
+		return AblationProbeWindow(opts)
+	case FigureAblationPulsing:
+		return AblationPulsingAttack(opts)
+	default:
+		return Figure{}, fmt.Errorf("%w: unknown figure %q", ErrScenario, id)
+	}
+}

@@ -1,0 +1,221 @@
+package experiment
+
+import (
+	"fmt"
+
+	"mafic/internal/baseline"
+	"mafic/internal/core"
+	"mafic/internal/flowtable"
+	"mafic/internal/metrics"
+	"mafic/internal/netsim"
+	"mafic/internal/pushback"
+	"mafic/internal/sim"
+	"mafic/internal/topology"
+	"mafic/internal/traffic"
+	"mafic/internal/trafficmatrix"
+)
+
+// defense abstracts over the MAFIC defender and the proportional baseline so
+// the run loop can activate either uniformly.
+type defense interface {
+	Activate(victim netsim.IP)
+	Deactivate()
+}
+
+// Run executes one scenario and returns its metrics.
+func Run(s Scenario) (Result, error) {
+	if err := s.Validate(); err != nil {
+		return Result{}, err
+	}
+	rng := sim.NewRNG(s.Seed)
+	sched := sim.NewScheduler()
+
+	domain, err := topology.Build(s.Topology, sched, rng.Fork())
+	if err != nil {
+		return Result{}, fmt.Errorf("build topology: %w", err)
+	}
+	workload, err := traffic.BuildWorkload(s.Workload, domain, rng.Fork())
+	if err != nil {
+		return Result{}, fmt.Errorf("build workload: %w", err)
+	}
+
+	collector := metrics.NewCollector(s.BinWidth)
+	collector.InstallHooks(domain.Net, domain.Victim.ID())
+	for _, ing := range domain.Ingress {
+		collector.TapRouter(ing, domain.VictimIP())
+	}
+
+	// Measurement layer (set-union counting) on every router. The monitor
+	// is created before the defence filters so counters observe arrivals
+	// before any dropping, mirroring the NS-2 setup where LogLogCounter
+	// sits at the head of each link.
+	var coordinator *pushback.Coordinator
+	result := Result{
+		Name:       s.Name,
+		Pd:         s.MAFIC.DropProbability,
+		Volume:     s.Workload.TotalFlows,
+		TCPShare:   s.Workload.TCPShare,
+		AttackRate: s.Workload.AttackRate,
+		Routers:    s.Topology.NumRouters,
+		Defense:    s.Defense.String(),
+	}
+
+	// Per-ingress defences.
+	defByRouter := make(map[netsim.NodeID]defense, len(domain.Ingress))
+	maficByRouter := make(map[netsim.NodeID]*core.Defender, len(domain.Ingress))
+	switch s.Defense {
+	case DefenseMAFIC:
+		for _, ing := range domain.Ingress {
+			d, derr := core.NewDefender(s.MAFIC, ing, rng.Fork())
+			if derr != nil {
+				return Result{}, fmt.Errorf("defender on %s: %w", ing.Name(), derr)
+			}
+			d.SetDropObserver(collector.ObserveMAFICDrop)
+			defByRouter[ing.ID()] = d
+			maficByRouter[ing.ID()] = d
+		}
+	case DefenseBaseline:
+		p := s.BaselineDropProbability
+		if p <= 0 {
+			p = s.MAFIC.DropProbability
+		}
+		for _, ing := range domain.Ingress {
+			d, derr := baseline.NewDropper(p, ing, rng.Fork())
+			if derr != nil {
+				return Result{}, fmt.Errorf("baseline on %s: %w", ing.Name(), derr)
+			}
+			d.SetDropObserver(collector.ObserveBaselineDrop)
+			defByRouter[ing.ID()] = d
+		}
+	case DefenseNone:
+		// No defence: the run measures the undefended system.
+	}
+
+	activate := func(now sim.Time, routers []netsim.NodeID, byPushback bool) {
+		if len(routers) == 0 {
+			return
+		}
+		if _, already := collector.Activated(); !already {
+			collector.MarkActivation(now)
+			result.Activated = true
+			result.ActivationSeconds = now.Seconds()
+			result.DetectedByPushback = byPushback
+		}
+		for _, id := range routers {
+			if d, ok := defByRouter[id]; ok {
+				d.Activate(domain.VictimIP())
+			}
+		}
+		result.ATRCount = len(routers)
+	}
+
+	ingressIDs := make([]netsim.NodeID, 0, len(domain.Ingress))
+	for _, ing := range domain.Ingress {
+		ingressIDs = append(ingressIDs, ing.ID())
+	}
+
+	pbCfg := s.Pushback
+	pbCfg.Eligible = ingressIDs
+	coordinator = pushback.NewCoordinator(pbCfg,
+		func(req pushback.Request) {
+			atrs := make([]netsim.NodeID, 0, len(req.ATRs))
+			for _, a := range req.ATRs {
+				atrs = append(atrs, a.Router)
+			}
+			activate(sched.Now(), atrs, true)
+		},
+		func(netsim.NodeID) {
+			for _, d := range defByRouter {
+				d.Deactivate()
+			}
+		})
+
+	monitor, err := trafficmatrix.NewMonitor(domain.Net, s.Monitor, coordinator.HandleReport)
+	if err != nil {
+		return Result{}, fmt.Errorf("traffic monitor: %w", err)
+	}
+
+	// The defence filters attach after the taps and counters so drops are
+	// observed by both measurement layers.
+	if s.Defense != DefenseNone {
+		for _, ing := range domain.Ingress {
+			switch s.Defense {
+			case DefenseMAFIC:
+				ing.AttachFilter(maficByRouter[ing.ID()])
+			case DefenseBaseline:
+				d, ok := defByRouter[ing.ID()].(*baseline.Dropper)
+				if ok {
+					ing.AttachFilter(d)
+				}
+			}
+		}
+	}
+
+	monitor.Start()
+	workload.StartAll(s.Workload, rng.Fork())
+
+	// Fallback activation covers scenarios where the detection layer is
+	// intentionally mistuned or the attack is too small to detect.
+	if s.DetectionFallback > 0 && s.Defense != DefenseNone {
+		at := s.Workload.AttackStart + s.DetectionFallback
+		sched.ScheduleAt(at, func(now sim.Time) {
+			if _, already := collector.Activated(); already {
+				return
+			}
+			activate(now, ingressIDs, false)
+		})
+	}
+
+	if err := sched.RunUntil(s.Duration); err != nil {
+		return Result{}, fmt.Errorf("run: %w", err)
+	}
+	monitor.Stop()
+	workload.StopAll()
+
+	// Headline metrics.
+	result.Accuracy = collector.Accuracy()
+	result.FalsePositiveRate = collector.FalsePositiveRate()
+	result.FalseNegativeRate = collector.FalseNegativeRate()
+	result.LegitimateDropRate = collector.LegitimateDropRate()
+	result.TrafficReduction = collector.TrafficReduction(s.ReductionWindow)
+	result.Counts = collector.Counts()
+	result.Series = collector.Series()
+	result.EventsProcessed = sched.Processed()
+
+	// Flow-level outcomes from the defenders' tables.
+	if s.Defense == DefenseMAFIC {
+		legitLabels := make(map[uint64]bool, len(workload.Legitimate))
+		attackLabels := make(map[uint64]bool, len(workload.Attack))
+		for _, f := range workload.Legitimate {
+			legitLabels[f.Label().Hash()] = true
+		}
+		for _, f := range workload.Attack {
+			attackLabels[f.Label().Hash()] = true
+		}
+		for _, d := range maficByRouter {
+			st := d.Stats()
+			result.DefenseStats.Examined += st.Examined
+			result.DefenseStats.Forwarded += st.Forwarded
+			result.DefenseStats.Dropped += st.Dropped
+			result.DefenseStats.DroppedIllegal += st.DroppedIllegal
+			result.DefenseStats.DroppedPDT += st.DroppedPDT
+			result.DefenseStats.DroppedProbing += st.DroppedProbing
+			result.DefenseStats.ProbesSent += st.ProbesSent
+			result.DefenseStats.FlowsProbed += st.FlowsProbed
+			result.DefenseStats.FlowsNice += st.FlowsNice
+			result.DefenseStats.FlowsCondemned += st.FlowsCondemned
+			result.DefenseStats.FlowsIllegal += st.FlowsIllegal
+
+			for hash, state := range d.Tables().Snapshot() {
+				switch {
+				case state == flowtable.StatePermanentDrop && legitLabels[hash]:
+					result.LegitFlowsCondemned++
+				case state == flowtable.StateNice && attackLabels[hash]:
+					result.AttackFlowsForgiven++
+				}
+			}
+		}
+		result.FlowsProbed = int(result.DefenseStats.FlowsProbed)
+	}
+	return result, nil
+}

@@ -1,0 +1,276 @@
+package loglog
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		m       int
+		wantErr bool
+	}{
+		{name: "too small", m: 8, wantErr: true},
+		{name: "not power of two", m: 1000, wantErr: true},
+		{name: "too large", m: 1 << 20, wantErr: true},
+		{name: "minimum", m: 16, wantErr: false},
+		{name: "default", m: DefaultBuckets, wantErr: false},
+		{name: "maximum", m: 65536, wantErr: false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			s, err := New(tt.m)
+			if tt.wantErr {
+				if !errors.Is(err, ErrBucketCount) {
+					t.Fatalf("want ErrBucketCount, got %v", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("New(%d): %v", tt.m, err)
+			}
+			if s.Buckets() != tt.m {
+				t.Fatalf("Buckets() = %d, want %d", s.Buckets(), tt.m)
+			}
+		})
+	}
+}
+
+func TestMustNewPanicsOnBadInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew(7) did not panic")
+		}
+	}()
+	MustNew(7)
+}
+
+func TestEstimateAccuracy(t *testing.T) {
+	tests := []struct {
+		name      string
+		n         int
+		tolerance float64 // relative error allowed
+	}{
+		{name: "small 100", n: 100, tolerance: 0.15},
+		{name: "medium 10k", n: 10000, tolerance: 0.10},
+		{name: "large 200k", n: 200000, tolerance: 0.10},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			s := MustNew(DefaultBuckets)
+			for i := 0; i < tt.n; i++ {
+				s.Add(uint64(i) * 0x9e3779b97f4a7c15)
+			}
+			est := s.Estimate()
+			relErr := math.Abs(est-float64(tt.n)) / float64(tt.n)
+			if relErr > tt.tolerance {
+				t.Fatalf("n=%d estimate=%.0f relative error %.3f > %.3f", tt.n, est, relErr, tt.tolerance)
+			}
+		})
+	}
+}
+
+func TestEstimateIgnoresDuplicates(t *testing.T) {
+	s := MustNew(DefaultBuckets)
+	for rep := 0; rep < 50; rep++ {
+		for i := 0; i < 1000; i++ {
+			s.Add(uint64(i))
+		}
+	}
+	est := s.Estimate()
+	if math.Abs(est-1000)/1000 > 0.15 {
+		t.Fatalf("estimate %.0f drifted despite duplicates (want ~1000)", est)
+	}
+	if s.Adds() != 50000 {
+		t.Fatalf("Adds() = %d, want 50000", s.Adds())
+	}
+}
+
+func TestEmptySketchEstimatesZero(t *testing.T) {
+	s := MustNew(64)
+	if est := s.Estimate(); est != 0 {
+		t.Fatalf("empty sketch estimate = %v, want 0", est)
+	}
+}
+
+func TestMergeEqualsUnion(t *testing.T) {
+	a, b := MustNew(DefaultBuckets), MustNew(DefaultBuckets)
+	// Two overlapping sets: [0,6000) and [4000,10000) → union 10000.
+	for i := 0; i < 6000; i++ {
+		a.Add(uint64(i))
+	}
+	for i := 4000; i < 10000; i++ {
+		b.Add(uint64(i))
+	}
+	union, err := UnionEstimate(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(union-10000)/10000 > 0.10 {
+		t.Fatalf("union estimate %.0f, want ~10000", union)
+	}
+	// Merge must be idempotent with respect to the union estimate.
+	merged := a.Clone()
+	if err := merged.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(merged.Estimate()-union) > 1e-9 {
+		t.Fatal("Merge and UnionEstimate disagree")
+	}
+	// UnionEstimate must not mutate its inputs.
+	if math.Abs(a.Estimate()-6000)/6000 > 0.12 {
+		t.Fatalf("UnionEstimate mutated input a: %.0f", a.Estimate())
+	}
+}
+
+func TestIntersectionEstimate(t *testing.T) {
+	a, b := MustNew(4096), MustNew(4096)
+	for i := 0; i < 6000; i++ {
+		a.Add(uint64(i))
+	}
+	for i := 4000; i < 10000; i++ {
+		b.Add(uint64(i))
+	}
+	inter, err := IntersectionEstimate(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// True intersection is 2000; inclusion-exclusion amplifies sketch
+	// noise so allow a generous band.
+	if inter < 1000 || inter > 3000 {
+		t.Fatalf("intersection estimate %.0f, want ~2000", inter)
+	}
+}
+
+func TestIntersectionOfDisjointSetsNearZero(t *testing.T) {
+	a, b := MustNew(4096), MustNew(4096)
+	for i := 0; i < 5000; i++ {
+		a.Add(uint64(i))
+		b.Add(uint64(i + 1000000))
+	}
+	inter, err := IntersectionEstimate(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inter > 600 {
+		t.Fatalf("disjoint intersection estimate %.0f, want near 0", inter)
+	}
+}
+
+func TestMergeIncompatible(t *testing.T) {
+	a, b := MustNew(64), MustNew(128)
+	if err := a.Merge(b); !errors.Is(err, ErrIncompatible) {
+		t.Fatalf("want ErrIncompatible, got %v", err)
+	}
+	if err := a.Merge(nil); !errors.Is(err, ErrIncompatible) {
+		t.Fatalf("merge nil: want ErrIncompatible, got %v", err)
+	}
+	if _, err := UnionEstimate(a, b); !errors.Is(err, ErrIncompatible) {
+		t.Fatalf("union: want ErrIncompatible, got %v", err)
+	}
+	if _, err := IntersectionEstimate(a, nil); !errors.Is(err, ErrIncompatible) {
+		t.Fatalf("intersection: want ErrIncompatible, got %v", err)
+	}
+}
+
+func TestReset(t *testing.T) {
+	s := MustNew(64)
+	for i := 0; i < 1000; i++ {
+		s.Add(uint64(i))
+	}
+	s.Reset()
+	if s.Estimate() != 0 || s.Adds() != 0 {
+		t.Fatal("Reset did not clear the sketch")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := MustNew(64)
+	for i := 0; i < 100; i++ {
+		s.Add(uint64(i))
+	}
+	c := s.Clone()
+	for i := 100; i < 10000; i++ {
+		c.Add(uint64(i))
+	}
+	if s.Estimate() >= c.Estimate() {
+		t.Fatal("clone mutation leaked into original")
+	}
+}
+
+func TestRelativeStandardError(t *testing.T) {
+	if got := RelativeStandardError(1024); math.Abs(got-1.30/32) > 1e-9 {
+		t.Fatalf("RSE(1024) = %v", got)
+	}
+	if !math.IsInf(RelativeStandardError(0), 1) {
+		t.Fatal("RSE(0) should be +Inf")
+	}
+}
+
+// TestMergeCommutativeProperty checks a sketch algebra invariant: merging in
+// either order yields identical estimates.
+func TestMergeCommutativeProperty(t *testing.T) {
+	prop := func(xs, ys []uint64) bool {
+		a1, b1 := MustNew(256), MustNew(256)
+		a2, b2 := MustNew(256), MustNew(256)
+		for _, x := range xs {
+			a1.Add(x)
+			a2.Add(x)
+		}
+		for _, y := range ys {
+			b1.Add(y)
+			b2.Add(y)
+		}
+		if err := a1.Merge(b1); err != nil {
+			return false
+		}
+		if err := b2.Merge(a2); err != nil {
+			return false
+		}
+		return math.Abs(a1.Estimate()-b2.Estimate()) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUnionUpperBoundProperty checks that a union estimate is never wildly
+// below either operand's estimate (monotonicity up to exact arithmetic).
+func TestUnionUpperBoundProperty(t *testing.T) {
+	prop := func(xs, ys []uint64) bool {
+		a, b := MustNew(256), MustNew(256)
+		for _, x := range xs {
+			a.Add(x)
+		}
+		for _, y := range ys {
+			b.Add(y)
+		}
+		union, err := UnionEstimate(a, b)
+		if err != nil {
+			return false
+		}
+		// Bucket-wise max can only grow each bucket, so the union
+		// estimate is >= each operand's estimate exactly.
+		return union >= a.Estimate()-1e-9 && union >= b.Estimate()-1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSequentialIDsEstimateWell(t *testing.T) {
+	// Packet IDs in the simulator are sequential integers; the internal
+	// avalanche step must keep the estimate accurate for such inputs.
+	s := MustNew(DefaultBuckets)
+	const n = 50000
+	for i := 1; i <= n; i++ {
+		s.Add(uint64(i))
+	}
+	est := s.Estimate()
+	if math.Abs(est-n)/n > 0.10 {
+		t.Fatalf("sequential-ID estimate %.0f, want ~%d", est, n)
+	}
+}

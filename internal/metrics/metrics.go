@@ -1,0 +1,334 @@
+// Package metrics measures a scenario the way the paper's evaluation does
+// (Section IV, Table I): attack-packet dropping accuracy α, traffic
+// reduction rate β, false-positive rate θp, false-negative rate θn, and the
+// legitimate-packet dropping rate L_r, plus the victim-side bandwidth time
+// series behind Figure 4(b).
+//
+// The collector observes the simulation through ground-truth packet tags
+// (Packet.Malicious) that no defence component ever reads, a per-ATR arrival
+// tap, the defenders' drop observers, and the network delivery hook.
+package metrics
+
+import (
+	"sort"
+
+	"mafic/internal/core"
+	"mafic/internal/netsim"
+	"mafic/internal/sim"
+)
+
+// ArrivalTapName is the filter name of the per-ATR arrival tap.
+const ArrivalTapName = "metrics-arrival-tap"
+
+// BandwidthPoint is one bin of the victim arrival time series.
+type BandwidthPoint struct {
+	// Time is the start of the bin.
+	Time sim.Time
+	// LegitPackets and AttackPackets count data packets delivered to the
+	// victim during the bin.
+	LegitPackets  uint64
+	AttackPackets uint64
+	// Bytes is the total data volume delivered during the bin.
+	Bytes uint64
+}
+
+// Total returns the bin's total packet count.
+func (p BandwidthPoint) Total() uint64 { return p.LegitPackets + p.AttackPackets }
+
+// Collector accumulates the per-packet observations of one scenario run.
+type Collector struct {
+	binWidth sim.Time
+
+	activated    bool
+	activationAt sim.Time
+
+	// Arrivals at ATRs (victim-bound data), split by ground truth and by
+	// whether the defence was active at arrival time.
+	atrLegitPre   uint64
+	atrLegitPost  uint64
+	atrAttackPre  uint64
+	atrAttackPost uint64
+
+	// Defence drops split by ground truth and reason.
+	dropLegitProbing uint64
+	dropLegitPDT     uint64
+	dropLegitIllegal uint64
+	dropAttack       uint64
+	dropAttackPDT    uint64
+
+	// Victim deliveries split by ground truth and activation phase.
+	victimLegitPre   uint64
+	victimLegitPost  uint64
+	victimAttackPre  uint64
+	victimAttackPost uint64
+
+	// Queue drops anywhere in the network (not attributable to MAFIC).
+	queueDrops uint64
+
+	bins map[int64]*BandwidthPoint
+}
+
+// NewCollector creates a collector with the given time-series bin width.
+// A zero bin width defaults to 50 ms.
+func NewCollector(binWidth sim.Time) *Collector {
+	if binWidth <= 0 {
+		binWidth = 50 * sim.Millisecond
+	}
+	return &Collector{
+		binWidth: binWidth,
+		bins:     make(map[int64]*BandwidthPoint),
+	}
+}
+
+// MarkActivation records the instant the defence was activated. Arrivals and
+// deliveries before this instant are excluded from the defence-quality
+// metrics (the defence cannot drop what it was not yet asked to drop).
+func (c *Collector) MarkActivation(now sim.Time) {
+	if c.activated {
+		return
+	}
+	c.activated = true
+	c.activationAt = now
+}
+
+// Activated reports whether MarkActivation has been called, and when.
+func (c *Collector) Activated() (sim.Time, bool) { return c.activationAt, c.activated }
+
+// arrivalTap is the passive filter installed on each ATR.
+type arrivalTap struct {
+	collector *Collector
+	victimIP  netsim.IP
+}
+
+var _ netsim.Filter = (*arrivalTap)(nil)
+
+func (t *arrivalTap) Name() string { return ArrivalTapName }
+
+func (t *arrivalTap) Handle(pkt *netsim.Packet, now sim.Time, _ *netsim.Router) netsim.Action {
+	// Only the packet's first router counts it (Hops is still zero
+	// there); transit through other tapped routers must not double count.
+	if pkt.Kind == netsim.KindData && pkt.Label.DstIP == t.victimIP && pkt.Hops == 0 {
+		t.collector.noteATRArrival(pkt, now)
+	}
+	return netsim.ActionForward
+}
+
+// TapRouter installs a passive arrival counter on the given router. It must
+// be attached before the defence filter so it sees packets the defence later
+// drops.
+func (c *Collector) TapRouter(r *netsim.Router, victim netsim.IP) {
+	r.AttachFilter(&arrivalTap{collector: c, victimIP: victim})
+}
+
+func (c *Collector) noteATRArrival(pkt *netsim.Packet, now sim.Time) {
+	post := c.activated && now >= c.activationAt
+	if pkt.Malicious {
+		if post {
+			c.atrAttackPost++
+		} else {
+			c.atrAttackPre++
+		}
+		return
+	}
+	if post {
+		c.atrLegitPost++
+	} else {
+		c.atrLegitPre++
+	}
+}
+
+// ObserveMAFICDrop is wired as each MAFIC defender's drop observer.
+func (c *Collector) ObserveMAFICDrop(pkt *netsim.Packet, reason core.DropReason, _ sim.Time) {
+	if pkt.Malicious {
+		c.dropAttack++
+		if reason == core.DropPermanent || reason == core.DropIllegalSource {
+			c.dropAttackPDT++
+		}
+		return
+	}
+	switch reason {
+	case core.DropProbing:
+		c.dropLegitProbing++
+	case core.DropPermanent:
+		c.dropLegitPDT++
+	case core.DropIllegalSource:
+		c.dropLegitIllegal++
+	}
+}
+
+// ObserveBaselineDrop is wired as the proportional dropper's observer. All
+// baseline drops of legitimate packets count as wrong drops: the baseline
+// has no notion of probing.
+func (c *Collector) ObserveBaselineDrop(pkt *netsim.Packet, _ sim.Time) {
+	if pkt.Malicious {
+		c.dropAttack++
+		return
+	}
+	c.dropLegitPDT++
+}
+
+// InstallHooks registers the collector's network hooks: victim deliveries
+// and queue drops. Call it once per scenario after building the network.
+func (c *Collector) InstallHooks(net *netsim.Network, victimHost netsim.NodeID) {
+	net.SetHooks(netsim.Hooks{
+		OnDeliver: func(pkt *netsim.Packet, host *netsim.Host, now sim.Time) {
+			if host.ID() != victimHost || pkt.Kind != netsim.KindData {
+				return
+			}
+			c.noteVictimDelivery(pkt, now)
+		},
+		OnQueueDrop: func(*netsim.Packet, *netsim.Link, sim.Time) {
+			c.queueDrops++
+		},
+	})
+}
+
+func (c *Collector) noteVictimDelivery(pkt *netsim.Packet, now sim.Time) {
+	post := c.activated && now >= c.activationAt
+	if pkt.Malicious {
+		if post {
+			c.victimAttackPost++
+		} else {
+			c.victimAttackPre++
+		}
+	} else {
+		if post {
+			c.victimLegitPost++
+		} else {
+			c.victimLegitPre++
+		}
+	}
+	idx := int64(now / c.binWidth)
+	bin, ok := c.bins[idx]
+	if !ok {
+		bin = &BandwidthPoint{Time: sim.Time(idx) * c.binWidth}
+		c.bins[idx] = bin
+	}
+	if pkt.Malicious {
+		bin.AttackPackets++
+	} else {
+		bin.LegitPackets++
+	}
+	bin.Bytes += uint64(pkt.Size)
+}
+
+// ratio returns num/den guarding against empty denominators.
+func ratio(num, den uint64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// Accuracy returns α: the fraction of attack packets arriving at the ATRs
+// after activation that the defence dropped.
+func (c *Collector) Accuracy() float64 {
+	return ratio(c.dropAttack, c.atrAttackPost)
+}
+
+// FalseNegativeRate returns θn: the fraction of attack packets arriving at
+// the ATRs after activation that still reached the victim.
+func (c *Collector) FalseNegativeRate() float64 {
+	return ratio(c.victimAttackPost, c.atrAttackPost)
+}
+
+// FalsePositiveRate returns θp: legitimate packets dropped because their
+// flow was classified as malicious (PDT or illegal-source drops), as a
+// fraction of all victim-bound packets arriving at the ATRs after
+// activation. This matches the paper's "percentage of legitimate packets
+// wrongly dropped as malicious attacking packets out of the total traffic
+// packets".
+func (c *Collector) FalsePositiveRate() float64 {
+	total := c.atrLegitPost + c.atrAttackPost
+	return ratio(c.dropLegitPDT+c.dropLegitIllegal, total)
+}
+
+// LegitimateDropRate returns L_r: every legitimate packet the defence
+// dropped (probing losses included) as a fraction of legitimate packets
+// arriving at the ATRs after activation.
+func (c *Collector) LegitimateDropRate() float64 {
+	return ratio(c.dropLegitProbing+c.dropLegitPDT+c.dropLegitIllegal, c.atrLegitPost)
+}
+
+// TrafficReduction returns β: one minus the ratio of the victim's arrival
+// rate in the window of the given length immediately after activation to the
+// arrival rate in the window of the same length immediately before it.
+func (c *Collector) TrafficReduction(window sim.Time) float64 {
+	if !c.activated || window <= 0 {
+		return 0
+	}
+	before := c.rateIn(c.activationAt-window, c.activationAt)
+	after := c.rateIn(c.activationAt, c.activationAt+window)
+	if before <= 0 {
+		return 0
+	}
+	reduction := 1 - after/before
+	if reduction < 0 {
+		reduction = 0
+	}
+	return reduction
+}
+
+// rateIn sums delivered packets whose bins overlap [from, to) and converts
+// to packets per second.
+func (c *Collector) rateIn(from, to sim.Time) float64 {
+	if to <= from {
+		return 0
+	}
+	var count uint64
+	for idx, bin := range c.bins {
+		start := sim.Time(idx) * c.binWidth
+		if start >= from && start < to {
+			count += bin.Total()
+		}
+	}
+	return sim.Rate(float64(count), from, to)
+}
+
+// Series returns the victim bandwidth time series in chronological order.
+func (c *Collector) Series() []BandwidthPoint {
+	out := make([]BandwidthPoint, 0, len(c.bins))
+	for _, bin := range c.bins {
+		out = append(out, *bin)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Time < out[j].Time })
+	return out
+}
+
+// Counts exposes the raw counters for reporting and tests.
+type Counts struct {
+	ATRLegitPre      uint64 `json:"atrLegitPre"`
+	ATRLegitPost     uint64 `json:"atrLegitPost"`
+	ATRAttackPre     uint64 `json:"atrAttackPre"`
+	ATRAttackPost    uint64 `json:"atrAttackPost"`
+	DropLegitProbing uint64 `json:"dropLegitProbing"`
+	DropLegitPDT     uint64 `json:"dropLegitPdt"`
+	DropLegitIllegal uint64 `json:"dropLegitIllegal"`
+	DropAttack       uint64 `json:"dropAttack"`
+	DropAttackPDT    uint64 `json:"dropAttackPdt"`
+	VictimLegitPre   uint64 `json:"victimLegitPre"`
+	VictimLegit      uint64 `json:"victimLegitPost"`
+	VictimAttackPre  uint64 `json:"victimAttackPre"`
+	VictimAttack     uint64 `json:"victimAttackPost"`
+	QueueDrops       uint64 `json:"queueDrops"`
+}
+
+// Counts returns a snapshot of the raw counters.
+func (c *Collector) Counts() Counts {
+	return Counts{
+		ATRLegitPre:      c.atrLegitPre,
+		ATRLegitPost:     c.atrLegitPost,
+		ATRAttackPre:     c.atrAttackPre,
+		ATRAttackPost:    c.atrAttackPost,
+		DropLegitProbing: c.dropLegitProbing,
+		DropLegitPDT:     c.dropLegitPDT,
+		DropLegitIllegal: c.dropLegitIllegal,
+		DropAttack:       c.dropAttack,
+		DropAttackPDT:    c.dropAttackPDT,
+		VictimLegitPre:   c.victimLegitPre,
+		VictimLegit:      c.victimLegitPost,
+		VictimAttackPre:  c.victimAttackPre,
+		VictimAttack:     c.victimAttackPost,
+		QueueDrops:       c.queueDrops,
+	}
+}

@@ -1,0 +1,114 @@
+package netsim
+
+import (
+	"fmt"
+
+	"mafic/internal/sim"
+)
+
+// PacketHandler receives packets addressed to a host. Traffic agents (TCP
+// senders, the victim server) register handlers keyed by the flow label of
+// the traffic they expect to receive.
+type PacketHandler func(pkt *Packet, now sim.Time)
+
+// Host is an end system: a traffic source (client or zombie) or sink (the
+// victim server). Hosts attach to exactly one access router.
+type Host struct {
+	net  *Network
+	id   NodeID
+	name string
+	ips  []IP
+
+	accessRouter NodeID
+
+	// handlers dispatches received packets by the label they carry.
+	handlers map[FlowLabel]PacketHandler
+	// defaultHandler receives packets with no registered label handler.
+	defaultHandler PacketHandler
+
+	received uint64
+	sent     uint64
+}
+
+var _ Deliverable = (*Host)(nil)
+
+// ID reports the host's node identifier.
+func (h *Host) ID() NodeID { return h.id }
+
+// Name reports the host's human-readable name.
+func (h *Host) Name() string { return h.name }
+
+// Network returns the network the host belongs to.
+func (h *Host) Network() *Network { return h.net }
+
+// IPs returns a copy of the addresses owned by the host.
+func (h *Host) IPs() []IP { return append([]IP(nil), h.ips...) }
+
+// PrimaryIP returns the host's first address, or zero if it has none.
+func (h *Host) PrimaryIP() IP {
+	if len(h.ips) == 0 {
+		return 0
+	}
+	return h.ips[0]
+}
+
+// Received reports how many packets the host has accepted.
+func (h *Host) Received() uint64 { return h.received }
+
+// Sent reports how many packets the host has emitted.
+func (h *Host) Sent() uint64 { return h.sent }
+
+// AttachTo records the host's access router. The caller is responsible for
+// creating the duplex link separately (topology builders do both).
+func (h *Host) AttachTo(router NodeID) { h.accessRouter = router }
+
+// AccessRouter reports the router the host is attached to.
+func (h *Host) AccessRouter() NodeID { return h.accessRouter }
+
+// Register installs a handler for packets carrying the given label.
+func (h *Host) Register(label FlowLabel, fn PacketHandler) {
+	h.handlers[label] = fn
+}
+
+// Unregister removes the handler for the given label.
+func (h *Host) Unregister(label FlowLabel) {
+	delete(h.handlers, label)
+}
+
+// SetDefaultHandler installs the handler used when no per-label handler
+// matches (the victim server uses this to accept every incoming flow).
+func (h *Host) SetDefaultHandler(fn PacketHandler) { h.defaultHandler = fn }
+
+// Deliver accepts a packet addressed to this host.
+func (h *Host) Deliver(pkt *Packet, _ NodeID) {
+	now := h.net.Now()
+	h.received++
+	h.net.noteDeliver(pkt, h, now)
+	if fn, ok := h.handlers[pkt.Label]; ok {
+		fn(pkt, now)
+		return
+	}
+	if h.defaultHandler != nil {
+		h.defaultHandler(pkt, now)
+	}
+}
+
+// Send emits a packet from this host toward its destination via the host's
+// access link.
+func (h *Host) Send(pkt *Packet) { h.send(pkt) }
+
+func (h *Host) send(pkt *Packet) {
+	h.sent++
+	pkt.SentAt = int64(h.net.Now())
+	link := h.net.LinkBetween(h.id, h.accessRouter)
+	if link == nil {
+		h.net.noteUnroutable(pkt, h.id)
+		return
+	}
+	link.Send(pkt)
+}
+
+// String renders the host for diagnostics.
+func (h *Host) String() string {
+	return fmt.Sprintf("host(%s/%d)", h.name, h.id)
+}

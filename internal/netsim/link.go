@@ -1,0 +1,103 @@
+package netsim
+
+import (
+	"fmt"
+
+	"mafic/internal/sim"
+)
+
+// LinkConfig describes one simplex link.
+type LinkConfig struct {
+	// BandwidthBps is the link capacity in bits per second.
+	BandwidthBps float64
+	// Delay is the one-way propagation delay.
+	Delay sim.Time
+	// QueueLen is the maximum number of packets that may be queued waiting
+	// for transmission (drop-tail). Zero means DefaultQueueLen.
+	QueueLen int
+}
+
+// DefaultQueueLen is used when a link is configured with a zero queue length.
+const DefaultQueueLen = 128
+
+// Link is a unidirectional channel between two nodes with a serialisation
+// delay derived from its bandwidth, a fixed propagation delay, and a
+// drop-tail queue. It mirrors the SimplexLink abstraction of NS-2 that the
+// paper's LogLogCounter objects attach to.
+type Link struct {
+	net  *Network
+	from NodeID
+	to   NodeID
+	cfg  LinkConfig
+
+	// nextFree is the virtual time at which the transmitter becomes idle.
+	nextFree sim.Time
+	// queued counts packets accepted but not yet fully transmitted.
+	queued int
+
+	// Counters for instrumentation.
+	sent    uint64
+	dropped uint64
+}
+
+// From reports the upstream node of the link.
+func (l *Link) From() NodeID { return l.from }
+
+// To reports the downstream node of the link.
+func (l *Link) To() NodeID { return l.to }
+
+// Config returns the link configuration.
+func (l *Link) Config() LinkConfig { return l.cfg }
+
+// Sent reports how many packets the link accepted for transmission.
+func (l *Link) Sent() uint64 { return l.sent }
+
+// Dropped reports how many packets the drop-tail queue rejected.
+func (l *Link) Dropped() uint64 { return l.dropped }
+
+// QueueLen reports the instantaneous number of packets waiting on the link.
+func (l *Link) QueueLen() int { return l.queued }
+
+// transmissionTime returns the serialisation delay of a packet of the given
+// size on this link.
+func (l *Link) transmissionTime(sizeBytes int) sim.Time {
+	if l.cfg.BandwidthBps <= 0 {
+		return 0
+	}
+	seconds := float64(sizeBytes*8) / l.cfg.BandwidthBps
+	return sim.Time(seconds * float64(sim.Second))
+}
+
+// Send enqueues a packet for transmission toward the link's downstream node.
+// Packets beyond the queue limit are dropped and reported through the
+// network's OnQueueDrop hook.
+func (l *Link) Send(pkt *Packet) {
+	now := l.net.Now()
+	if l.queued >= l.cfg.QueueLen {
+		l.dropped++
+		l.net.noteQueueDrop(pkt, l, now)
+		return
+	}
+	l.queued++
+	l.sent++
+
+	start := now
+	if l.nextFree > start {
+		start = l.nextFree
+	}
+	tx := l.transmissionTime(pkt.Size)
+	l.nextFree = start + tx
+
+	txDone := l.nextFree
+	arrive := txDone + l.cfg.Delay
+
+	l.net.scheduler.ScheduleAt(txDone, func(sim.Time) { l.queued-- })
+	l.net.scheduler.ScheduleAt(arrive, func(sim.Time) {
+		l.net.deliverTo(l.to, pkt, l.from)
+	})
+}
+
+// String renders the link endpoints for diagnostics.
+func (l *Link) String() string {
+	return fmt.Sprintf("link(%d->%d)", l.from, l.to)
+}

@@ -1,0 +1,266 @@
+package netsim
+
+import (
+	"errors"
+	"fmt"
+
+	"mafic/internal/sim"
+)
+
+// Errors reported by network construction.
+var (
+	// ErrUnknownNode is returned when an operation references a node ID
+	// that has not been added to the network.
+	ErrUnknownNode = errors.New("netsim: unknown node")
+	// ErrDuplicateLink is returned when a simplex link between the same
+	// pair of nodes is added twice.
+	ErrDuplicateLink = errors.New("netsim: duplicate link")
+)
+
+// Hooks collects optional callbacks that observation components (metrics,
+// tests) register on a network. Nil members are simply skipped, so hot paths
+// pay nothing for unused hooks.
+type Hooks struct {
+	// OnQueueDrop fires when a drop-tail queue rejects a packet.
+	OnQueueDrop func(pkt *Packet, link *Link, now sim.Time)
+	// OnFilterDrop fires when a router filter (MAFIC, baseline dropper,
+	// ...) discards a packet. filter is the filter's Name().
+	OnFilterDrop func(pkt *Packet, router *Router, filter string, now sim.Time)
+	// OnDeliver fires when a packet reaches the host owning its
+	// destination address.
+	OnDeliver func(pkt *Packet, host *Host, now sim.Time)
+	// OnUnroutable fires when no route exists for a packet's destination;
+	// the packet is discarded. Probes addressed to spoofed, unreachable
+	// sources end up here.
+	OnUnroutable func(pkt *Packet, at NodeID, now sim.Time)
+}
+
+// Network owns every simulated node and link and bridges them to the
+// discrete-event scheduler.
+type Network struct {
+	scheduler *sim.Scheduler
+	rng       *sim.RNG
+
+	routers map[NodeID]*Router
+	hosts   map[NodeID]*Host
+	links   map[NodeID]map[NodeID]*Link
+	ipOwner map[IP]NodeID
+
+	nextNodeID NodeID
+	nextPktID  uint64
+
+	hooks Hooks
+}
+
+// New creates an empty network bound to the given scheduler and RNG.
+func New(scheduler *sim.Scheduler, rng *sim.RNG) *Network {
+	return &Network{
+		scheduler: scheduler,
+		rng:       rng,
+		routers:   make(map[NodeID]*Router),
+		hosts:     make(map[NodeID]*Host),
+		links:     make(map[NodeID]map[NodeID]*Link),
+		ipOwner:   make(map[IP]NodeID),
+	}
+}
+
+// SetHooks installs observation callbacks. It must be called before the
+// simulation starts; installing hooks mid-run is not supported.
+func (n *Network) SetHooks(h Hooks) { n.hooks = h }
+
+// Scheduler exposes the underlying event scheduler.
+func (n *Network) Scheduler() *sim.Scheduler { return n.scheduler }
+
+// RNG exposes the network's random source.
+func (n *Network) RNG() *sim.RNG { return n.rng }
+
+// Now reports the current virtual time.
+func (n *Network) Now() sim.Time { return n.scheduler.Now() }
+
+// NextPacketID allocates a unique packet identifier.
+func (n *Network) NextPacketID() uint64 {
+	n.nextPktID++
+	return n.nextPktID
+}
+
+// allocateNodeID hands out the next node identifier.
+func (n *Network) allocateNodeID() NodeID {
+	id := n.nextNodeID
+	n.nextNodeID++
+	return id
+}
+
+// AddRouter creates a router with the given human-readable name.
+func (n *Network) AddRouter(name string) *Router {
+	r := &Router{
+		net:    n,
+		id:     n.allocateNodeID(),
+		name:   name,
+		routes: make(map[NodeID]NodeID),
+	}
+	n.routers[r.id] = r
+	return r
+}
+
+// AddHost creates a host owning the given addresses.
+func (n *Network) AddHost(name string, ips ...IP) *Host {
+	h := &Host{
+		net:      n,
+		id:       n.allocateNodeID(),
+		name:     name,
+		ips:      append([]IP(nil), ips...),
+		handlers: make(map[FlowLabel]PacketHandler),
+	}
+	n.hosts[h.id] = h
+	for _, ip := range ips {
+		n.ipOwner[ip] = h.id
+	}
+	return h
+}
+
+// RegisterIP assigns an additional address to an existing host.
+func (n *Network) RegisterIP(host *Host, ip IP) {
+	host.ips = append(host.ips, ip)
+	n.ipOwner[ip] = host.id
+}
+
+// Router returns the router with the given ID, or nil.
+func (n *Network) Router(id NodeID) *Router { return n.routers[id] }
+
+// Host returns the host with the given ID, or nil.
+func (n *Network) Host(id NodeID) *Host { return n.hosts[id] }
+
+// Routers returns all routers keyed by node ID. The map is the live internal
+// map and must not be mutated by callers; it is exposed for iteration only.
+func (n *Network) Routers() map[NodeID]*Router { return n.routers }
+
+// Hosts returns all hosts keyed by node ID (iteration only, do not mutate).
+func (n *Network) Hosts() map[NodeID]*Host { return n.hosts }
+
+// NodeCount reports the number of nodes (routers plus hosts).
+func (n *Network) NodeCount() int { return len(n.routers) + len(n.hosts) }
+
+// Owner resolves an address to the node owning it, or NoNode when the
+// address is not allocated anywhere in the simulated internetwork. MAFIC
+// treats packets whose source resolves to NoNode as carrying illegal or
+// unreachable addresses.
+func (n *Network) Owner(ip IP) NodeID {
+	if id, ok := n.ipOwner[ip]; ok {
+		return id
+	}
+	return NoNode
+}
+
+// IsRoutable reports whether an address belongs to some host in the
+// simulated internetwork.
+func (n *Network) IsRoutable(ip IP) bool {
+	_, ok := n.ipOwner[ip]
+	return ok
+}
+
+// Connect adds a simplex link from a to b. Use ConnectDuplex for the common
+// bidirectional case.
+func (n *Network) Connect(from, to NodeID, cfg LinkConfig) (*Link, error) {
+	if !n.nodeExists(from) || !n.nodeExists(to) {
+		return nil, fmt.Errorf("connect %d->%d: %w", from, to, ErrUnknownNode)
+	}
+	if cfg.QueueLen <= 0 {
+		cfg.QueueLen = DefaultQueueLen
+	}
+	if _, exists := n.links[from][to]; exists {
+		return nil, fmt.Errorf("connect %d->%d: %w", from, to, ErrDuplicateLink)
+	}
+	l := &Link{net: n, from: from, to: to, cfg: cfg}
+	if n.links[from] == nil {
+		n.links[from] = make(map[NodeID]*Link)
+	}
+	n.links[from][to] = l
+	return l, nil
+}
+
+// ConnectDuplex adds two simplex links (a->b and b->a) with the same
+// configuration.
+func (n *Network) ConnectDuplex(a, b NodeID, cfg LinkConfig) error {
+	if _, err := n.Connect(a, b, cfg); err != nil {
+		return err
+	}
+	if _, err := n.Connect(b, a, cfg); err != nil {
+		return err
+	}
+	return nil
+}
+
+// LinkBetween returns the simplex link from a to b, or nil.
+func (n *Network) LinkBetween(a, b NodeID) *Link {
+	return n.links[a][b]
+}
+
+// Neighbors returns the node IDs reachable over one outgoing link from id,
+// in unspecified order.
+func (n *Network) Neighbors(id NodeID) []NodeID {
+	out := make([]NodeID, 0, len(n.links[id]))
+	for to := range n.links[id] {
+		out = append(out, to)
+	}
+	return out
+}
+
+func (n *Network) nodeExists(id NodeID) bool {
+	if _, ok := n.routers[id]; ok {
+		return true
+	}
+	_, ok := n.hosts[id]
+	return ok
+}
+
+// deliverTo hands a packet arriving over a link to its destination node.
+func (n *Network) deliverTo(id NodeID, pkt *Packet, from NodeID) {
+	if r, ok := n.routers[id]; ok {
+		r.Deliver(pkt, from)
+		return
+	}
+	if h, ok := n.hosts[id]; ok {
+		h.Deliver(pkt, from)
+		return
+	}
+	n.noteUnroutable(pkt, from)
+}
+
+// SendFrom launches a packet from the given node: hosts hand it to their
+// access router, routers route it directly. It is the entry point traffic
+// sources and probe injectors use.
+func (n *Network) SendFrom(origin NodeID, pkt *Packet) {
+	if r, ok := n.routers[origin]; ok {
+		r.forward(pkt, origin)
+		return
+	}
+	if h, ok := n.hosts[origin]; ok {
+		h.send(pkt)
+		return
+	}
+	n.noteUnroutable(pkt, origin)
+}
+
+func (n *Network) noteQueueDrop(pkt *Packet, l *Link, now sim.Time) {
+	if n.hooks.OnQueueDrop != nil {
+		n.hooks.OnQueueDrop(pkt, l, now)
+	}
+}
+
+func (n *Network) noteFilterDrop(pkt *Packet, r *Router, filter string, now sim.Time) {
+	if n.hooks.OnFilterDrop != nil {
+		n.hooks.OnFilterDrop(pkt, r, filter, now)
+	}
+}
+
+func (n *Network) noteDeliver(pkt *Packet, h *Host, now sim.Time) {
+	if n.hooks.OnDeliver != nil {
+		n.hooks.OnDeliver(pkt, h, now)
+	}
+}
+
+func (n *Network) noteUnroutable(pkt *Packet, at NodeID) {
+	if n.hooks.OnUnroutable != nil {
+		n.hooks.OnUnroutable(pkt, at, n.Now())
+	}
+}

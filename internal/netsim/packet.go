@@ -1,0 +1,166 @@
+// Package netsim models the packet-level network substrate the MAFIC
+// evaluation runs on: addresses, packets, simplex links with drop-tail
+// queues, routers with attachable per-packet filters (the role NS-2
+// Connectors play in the original paper), and end hosts.
+package netsim
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strconv"
+)
+
+// IP is an IPv4-style 32-bit address. The simulator does not parse dotted
+// quads; topology builders allocate addresses from synthetic prefixes.
+type IP uint32
+
+// String renders the address in dotted-quad form for logs and debugging.
+func (ip IP) String() string {
+	return strconv.Itoa(int(ip>>24&0xff)) + "." + strconv.Itoa(int(ip>>16&0xff)) + "." +
+		strconv.Itoa(int(ip>>8&0xff)) + "." + strconv.Itoa(int(ip&0xff))
+}
+
+// FlowLabel is the 4-tuple {source IP, destination IP, source port,
+// destination port} the paper uses to mark each flow (Section III-B). Two
+// flows from the same (possibly spoofed) sender still get distinct labels if
+// their ports differ.
+type FlowLabel struct {
+	SrcIP   IP
+	DstIP   IP
+	SrcPort uint16
+	DstPort uint16
+}
+
+// Hash returns a 64-bit FNV-1a hash of the label. Flow tables store only this
+// hash rather than the label itself to bound their storage overhead, exactly
+// as described in the paper.
+func (l FlowLabel) Hash() uint64 {
+	h := fnv.New64a()
+	var buf [12]byte
+	buf[0] = byte(l.SrcIP >> 24)
+	buf[1] = byte(l.SrcIP >> 16)
+	buf[2] = byte(l.SrcIP >> 8)
+	buf[3] = byte(l.SrcIP)
+	buf[4] = byte(l.DstIP >> 24)
+	buf[5] = byte(l.DstIP >> 16)
+	buf[6] = byte(l.DstIP >> 8)
+	buf[7] = byte(l.DstIP)
+	buf[8] = byte(l.SrcPort >> 8)
+	buf[9] = byte(l.SrcPort)
+	buf[10] = byte(l.DstPort >> 8)
+	buf[11] = byte(l.DstPort)
+	_, _ = h.Write(buf[:])
+	return h.Sum64()
+}
+
+// Reverse returns the label of the reverse direction of the conversation,
+// used to route ACKs and probe packets back toward a flow's claimed source.
+func (l FlowLabel) Reverse() FlowLabel {
+	return FlowLabel{SrcIP: l.DstIP, DstIP: l.SrcIP, SrcPort: l.DstPort, DstPort: l.SrcPort}
+}
+
+// String renders the label as "src:port->dst:port".
+func (l FlowLabel) String() string {
+	return fmt.Sprintf("%s:%d->%s:%d", l.SrcIP, l.SrcPort, l.DstIP, l.DstPort)
+}
+
+// PacketKind distinguishes the packet types the simulation forwards.
+type PacketKind int
+
+// Packet kinds. Data carries flow payload toward the victim; Ack and DupAck
+// travel in the reverse direction; Probe is the duplicated-ACK probe MAFIC
+// injects at an ATR; Control carries pushback signalling between routers.
+const (
+	KindData PacketKind = iota + 1
+	KindAck
+	KindDupAck
+	KindProbe
+	KindControl
+)
+
+// String implements fmt.Stringer for readable traces.
+func (k PacketKind) String() string {
+	switch k {
+	case KindData:
+		return "data"
+	case KindAck:
+		return "ack"
+	case KindDupAck:
+		return "dupack"
+	case KindProbe:
+		return "probe"
+	case KindControl:
+		return "control"
+	default:
+		return "unknown(" + strconv.Itoa(int(k)) + ")"
+	}
+}
+
+// Protocol identifies the transport behaviour of the flow that emitted a
+// packet. MAFIC itself never trusts this field; it is carried for workload
+// accounting and so receivers know whether to generate ACKs.
+type Protocol int
+
+// Supported protocols.
+const (
+	ProtoTCP Protocol = iota + 1
+	ProtoUDP
+)
+
+// String implements fmt.Stringer.
+func (p Protocol) String() string {
+	switch p {
+	case ProtoTCP:
+		return "tcp"
+	case ProtoUDP:
+		return "udp"
+	default:
+		return "proto(" + strconv.Itoa(int(p)) + ")"
+	}
+}
+
+// Packet is the unit of forwarding. Ground-truth fields (FlowID, Malicious)
+// exist only for measurement; no defence component reads them when making
+// decisions.
+type Packet struct {
+	// ID is unique per packet within a simulation and doubles as the
+	// distinct-element identity the LogLog counters sketch.
+	ID uint64
+	// Label is the flow 4-tuple carried in the header.
+	Label FlowLabel
+	// Kind is the packet type.
+	Kind PacketKind
+	// Proto is the transport protocol of the emitting flow.
+	Proto Protocol
+	// Seq is the transport sequence number (data) or the acknowledged
+	// sequence number (ACK/dup-ACK/probe).
+	Seq int64
+	// Size is the wire size in bytes used for serialisation delay.
+	Size int
+	// SentAt is the virtual time the packet left its source, used to
+	// derive RTT samples.
+	SentAt int64
+	// Hops counts how many routers have forwarded the packet so far. A
+	// router-attached counter sees Hops == 0 exactly when it is the
+	// packet's ingress router.
+	Hops int
+
+	// FlowID is the ground-truth identifier of the generating flow.
+	FlowID int
+	// Malicious is the ground-truth attack marker used only by metrics.
+	Malicious bool
+}
+
+// NodeID identifies a node (router or host) in the simulated domain.
+type NodeID int
+
+// NoNode is the sentinel for "no such node".
+const NoNode NodeID = -1
+
+// Deliverable is implemented by anything that can accept a packet at a point
+// in virtual time: hosts, routers, and links all satisfy it.
+type Deliverable interface {
+	// Deliver hands the packet to the component. from identifies the
+	// upstream node for routers that care about ingress interfaces.
+	Deliver(pkt *Packet, from NodeID)
+}

@@ -1,0 +1,158 @@
+package netsim
+
+import (
+	"fmt"
+
+	"mafic/internal/sim"
+)
+
+// Action is a filter's verdict on a packet.
+type Action int
+
+// Filter verdicts.
+const (
+	// ActionForward lets the packet continue toward its destination.
+	ActionForward Action = iota + 1
+	// ActionDrop discards the packet at this router.
+	ActionDrop
+)
+
+// Filter is a per-packet hook attached to a router, playing the role the
+// NS-2 Connector subclasses play in the paper (the LogLogCounter, the
+// proportional dropper, and the MAFIC agent are all filters). Filters run in
+// attachment order; the first ActionDrop wins.
+type Filter interface {
+	// Name identifies the filter in drop accounting.
+	Name() string
+	// Handle inspects a packet traversing the router and decides its fate.
+	Handle(pkt *Packet, now sim.Time, at *Router) Action
+}
+
+// Router forwards packets by destination-owner lookup and a static next-hop
+// table, invoking its attached filters on every traversing packet.
+type Router struct {
+	net  *Network
+	id   NodeID
+	name string
+
+	// routes maps a destination node to the next-hop node.
+	routes map[NodeID]NodeID
+
+	filters []Filter
+
+	forwarded uint64
+	dropped   uint64
+}
+
+var _ Deliverable = (*Router)(nil)
+
+// ID reports the router's node identifier.
+func (r *Router) ID() NodeID { return r.id }
+
+// Name reports the router's human-readable name.
+func (r *Router) Name() string { return r.name }
+
+// Network returns the network the router belongs to.
+func (r *Router) Network() *Network { return r.net }
+
+// Forwarded reports how many packets the router has forwarded.
+func (r *Router) Forwarded() uint64 { return r.forwarded }
+
+// FilterDropped reports how many packets the router's filters discarded.
+func (r *Router) FilterDropped() uint64 { return r.dropped }
+
+// SetRoute installs the next hop used to reach dest.
+func (r *Router) SetRoute(dest, nextHop NodeID) { r.routes[dest] = nextHop }
+
+// Route returns the next hop toward dest, or NoNode if none is installed.
+func (r *Router) Route(dest NodeID) NodeID {
+	if nh, ok := r.routes[dest]; ok {
+		return nh
+	}
+	return NoNode
+}
+
+// RouteCount reports how many destinations the router can reach.
+func (r *Router) RouteCount() int { return len(r.routes) }
+
+// AttachFilter appends a filter to the router's processing chain.
+func (r *Router) AttachFilter(f Filter) {
+	if f == nil {
+		return
+	}
+	r.filters = append(r.filters, f)
+}
+
+// DetachFilter removes the first filter with the given name. It reports
+// whether a filter was removed.
+func (r *Router) DetachFilter(name string) bool {
+	for i, f := range r.filters {
+		if f.Name() == name {
+			r.filters = append(r.filters[:i], r.filters[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Filters returns the attached filters in processing order (do not mutate).
+func (r *Router) Filters() []Filter { return r.filters }
+
+// Deliver processes a packet arriving from an upstream node.
+func (r *Router) Deliver(pkt *Packet, from NodeID) {
+	r.forward(pkt, from)
+}
+
+// Inject routes a packet that originates at this router itself, bypassing
+// the filter chain exactly once (the router should not drop its own probes).
+func (r *Router) Inject(pkt *Packet) {
+	r.route(pkt)
+}
+
+// forward runs the filter chain and then routes the packet.
+func (r *Router) forward(pkt *Packet, _ NodeID) {
+	now := r.net.Now()
+	for _, f := range r.filters {
+		if f.Handle(pkt, now, r) == ActionDrop {
+			r.dropped++
+			r.net.noteFilterDrop(pkt, r, f.Name(), now)
+			return
+		}
+	}
+	r.forwarded++
+	pkt.Hops++
+	r.route(pkt)
+}
+
+// route picks the outgoing link for the packet's destination and transmits.
+func (r *Router) route(pkt *Packet) {
+	destNode := r.net.Owner(pkt.Label.DstIP)
+	if destNode == NoNode {
+		r.net.noteUnroutable(pkt, r.id)
+		return
+	}
+	if destNode == r.id {
+		// Routers never terminate data traffic in this model.
+		r.net.noteUnroutable(pkt, r.id)
+		return
+	}
+	next := destNode
+	if link := r.net.LinkBetween(r.id, destNode); link == nil {
+		next = r.Route(destNode)
+		if next == NoNode {
+			r.net.noteUnroutable(pkt, r.id)
+			return
+		}
+	}
+	link := r.net.LinkBetween(r.id, next)
+	if link == nil {
+		r.net.noteUnroutable(pkt, r.id)
+		return
+	}
+	link.Send(pkt)
+}
+
+// String renders the router for diagnostics.
+func (r *Router) String() string {
+	return fmt.Sprintf("router(%s/%d)", r.name, r.id)
+}

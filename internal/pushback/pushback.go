@@ -1,0 +1,301 @@
+// Package pushback implements victim detection and attack-transit-router
+// (ATR) identification on top of the set-union counting traffic matrix, i.e.
+// the decision layer from the paper's Section II: when a last-hop router's
+// |D_j| becomes abnormally high, the routers contributing the largest a_ij
+// toward it are flagged as ATRs and told to start adaptive dropping.
+package pushback
+
+import (
+	"sort"
+
+	"mafic/internal/netsim"
+	"mafic/internal/trafficmatrix"
+)
+
+// ATR describes one identified attack-transit router and its estimated
+// contribution to the victim's traffic.
+type ATR struct {
+	// Router is the identified ingress router.
+	Router netsim.NodeID
+	// Packets is the estimated number of distinct packets it injected
+	// toward the victim during the triggering epoch (a_ij).
+	Packets float64
+	// Share is Packets divided by the victim's |D_j| estimate.
+	Share float64
+}
+
+// Request is the pushback instruction delivered to the defence layer when an
+// attack is detected.
+type Request struct {
+	// Epoch is the measurement epoch that triggered the request.
+	Epoch int
+	// VictimRouter is the last-hop router in front of the victim.
+	VictimRouter netsim.NodeID
+	// VictimLoad is the |D_j| estimate that crossed the threshold.
+	VictimLoad float64
+	// ATRs lists the identified attack-transit routers, largest
+	// contributor first.
+	ATRs []ATR
+}
+
+// Config tunes the detector.
+type Config struct {
+	// AbsoluteThreshold is the |D_j| estimate (distinct packets per
+	// epoch) above which a router is considered under attack. Zero
+	// disables the absolute test.
+	AbsoluteThreshold float64
+	// RelativeFactor triggers when a router's |D_j| exceeds this multiple
+	// of the mean |D_j| across all routers with traffic. Zero disables
+	// the relative test.
+	RelativeFactor float64
+	// HistoryFactor triggers when a router's |D_j| exceeds this multiple
+	// of its own exponentially weighted moving average over previous
+	// epochs. Zero disables the history test. This is the primary test
+	// used by the experiments: a flooding attack shows up as a sudden
+	// departure from the router's own baseline.
+	HistoryFactor float64
+	// MinHistoryEpochs is how many epochs of history are required before
+	// the history test may fire. Zero means 2.
+	MinHistoryEpochs int
+	// MinVictimLoad is the minimum |D_j| (distinct packets per epoch)
+	// required for any trigger, guarding against firing on noise over a
+	// nearly idle router.
+	MinVictimLoad float64
+	// ATRShare is the minimum fraction of the victim's |D_j| an ingress
+	// router must contribute to be flagged as an ATR.
+	ATRShare float64
+	// MaxATRs caps how many ATRs a single request may identify; zero
+	// means no cap.
+	MaxATRs int
+	// WithdrawFactor controls withdrawal hysteresis: pushback is
+	// withdrawn when the victim's load falls below
+	// WithdrawFactor × the triggering threshold. Zero means 0.5.
+	WithdrawFactor float64
+	// WithdrawEpochs is how many consecutive calm epochs are required
+	// before withdrawing. Zero means 2.
+	WithdrawEpochs int
+	// DisableWithdraw keeps pushback in force once raised. The victim's
+	// measured load drops as soon as the ATRs start dropping, so a
+	// victim-side withdrawal test oscillates; experiments that want the
+	// defence to stay up for the whole run set this.
+	DisableWithdraw bool
+	// Eligible restricts ATR identification to the given routers
+	// (typically the domain's ingress routers). Empty means any router
+	// may be identified.
+	Eligible []netsim.NodeID
+}
+
+// DefaultConfig returns detector settings that work for the scenario scale
+// used in this repository's experiments.
+func DefaultConfig() Config {
+	return Config{
+		AbsoluteThreshold: 0,
+		RelativeFactor:    0,
+		HistoryFactor:     1.5,
+		MinHistoryEpochs:  2,
+		MinVictimLoad:     50,
+		ATRShare:          0.02,
+		WithdrawFactor:    0.5,
+		WithdrawEpochs:    2,
+	}
+}
+
+// Coordinator consumes traffic-matrix epoch reports and raises/withdraws
+// pushback requests.
+type Coordinator struct {
+	cfg Config
+
+	onPushback func(Request)
+	onWithdraw func(victim netsim.NodeID)
+
+	eligible map[netsim.NodeID]bool
+
+	// history keeps an EWMA of each router's |D_j| across epochs for the
+	// history-based test.
+	history      map[netsim.NodeID]float64
+	historySeen  int
+	historyAlpha float64
+
+	active        bool
+	activeVictim  netsim.NodeID
+	triggerLoad   float64
+	calmEpochs    int
+	requestsFired int
+}
+
+// NewCoordinator creates a coordinator. onPushback fires when an attack is
+// detected; onWithdraw fires when the victim's load subsides. Either callback
+// may be nil.
+func NewCoordinator(cfg Config, onPushback func(Request), onWithdraw func(victim netsim.NodeID)) *Coordinator {
+	if cfg.WithdrawFactor <= 0 {
+		cfg.WithdrawFactor = 0.5
+	}
+	if cfg.WithdrawEpochs <= 0 {
+		cfg.WithdrawEpochs = 2
+	}
+	var eligible map[netsim.NodeID]bool
+	if len(cfg.Eligible) > 0 {
+		eligible = make(map[netsim.NodeID]bool, len(cfg.Eligible))
+		for _, id := range cfg.Eligible {
+			eligible[id] = true
+		}
+	}
+	if cfg.MinHistoryEpochs <= 0 {
+		cfg.MinHistoryEpochs = 2
+	}
+	return &Coordinator{
+		cfg:          cfg,
+		onPushback:   onPushback,
+		onWithdraw:   onWithdraw,
+		eligible:     eligible,
+		history:      make(map[netsim.NodeID]float64),
+		historyAlpha: 0.5,
+	}
+}
+
+// Active reports whether a pushback request is currently in force.
+func (c *Coordinator) Active() bool { return c.active }
+
+// ActiveVictim reports the router currently protected, valid while Active.
+func (c *Coordinator) ActiveVictim() netsim.NodeID { return c.activeVictim }
+
+// Requests reports how many pushback requests have been raised so far.
+func (c *Coordinator) Requests() int { return c.requestsFired }
+
+// HandleReport is wired as the traffic-matrix monitor's epoch callback.
+func (c *Coordinator) HandleReport(report trafficmatrix.EpochReport) {
+	victim, load, threshold, found := c.detectVictim(report)
+	c.updateHistory(report, found, victim)
+	if c.active {
+		c.maybeWithdraw(found, victim, load)
+		return
+	}
+	if !found {
+		return
+	}
+	req := Request{
+		Epoch:        report.Epoch,
+		VictimRouter: victim,
+		VictimLoad:   load,
+		ATRs:         c.identifyATRs(report, victim, load),
+	}
+	c.active = true
+	c.activeVictim = victim
+	c.triggerLoad = threshold
+	c.calmEpochs = 0
+	c.requestsFired++
+	if c.onPushback != nil {
+		c.onPushback(req)
+	}
+}
+
+// detectVictim applies the absolute and relative load tests and returns the
+// most-loaded router that crossed a threshold.
+func (c *Coordinator) detectVictim(report trafficmatrix.EpochReport) (victim netsim.NodeID, load, threshold float64, found bool) {
+	var (
+		sum   float64
+		count int
+		maxID netsim.NodeID = netsim.NoNode
+		maxDj float64
+	)
+	for id, dj := range report.DestEstimates {
+		if dj <= 0 {
+			continue
+		}
+		sum += dj
+		count++
+		if dj > maxDj {
+			maxDj = dj
+			maxID = id
+		}
+	}
+	if maxID == netsim.NoNode || maxDj < c.cfg.MinVictimLoad {
+		return maxID, maxDj, 0, false
+	}
+	if c.cfg.AbsoluteThreshold > 0 && maxDj >= c.cfg.AbsoluteThreshold {
+		return maxID, maxDj, c.cfg.AbsoluteThreshold, true
+	}
+	if c.cfg.RelativeFactor > 0 && count > 1 {
+		mean := (sum - maxDj) / float64(count-1)
+		if mean > 0 && maxDj >= c.cfg.RelativeFactor*mean {
+			return maxID, maxDj, c.cfg.RelativeFactor * mean, true
+		}
+	}
+	if c.cfg.HistoryFactor > 0 && c.historySeen >= c.cfg.MinHistoryEpochs {
+		if baselineLoad, ok := c.history[maxID]; ok && baselineLoad > 0 {
+			threshold := c.cfg.HistoryFactor * baselineLoad
+			if maxDj >= threshold {
+				return maxID, maxDj, threshold, true
+			}
+		}
+	}
+	return maxID, maxDj, 0, false
+}
+
+// updateHistory folds the epoch's loads into the per-router EWMA baselines.
+// While an attack is detected (or pushback is active) the victim's baseline
+// is frozen so the attack itself does not become the new normal.
+func (c *Coordinator) updateHistory(report trafficmatrix.EpochReport, found bool, victim netsim.NodeID) {
+	c.historySeen++
+	for id, dj := range report.DestEstimates {
+		if (found && id == victim) || (c.active && id == c.activeVictim) {
+			continue
+		}
+		prev, ok := c.history[id]
+		if !ok {
+			c.history[id] = dj
+			continue
+		}
+		c.history[id] = c.historyAlpha*dj + (1-c.historyAlpha)*prev
+	}
+}
+
+// identifyATRs ranks source routers by their estimated contribution a_ij to
+// the victim and keeps those above the configured share.
+func (c *Coordinator) identifyATRs(report trafficmatrix.EpochReport, victim netsim.NodeID, victimLoad float64) []ATR {
+	cells := report.TopSources(victim)
+	atrs := make([]ATR, 0, len(cells))
+	for _, cell := range cells {
+		if c.eligible != nil && !c.eligible[cell.Source] {
+			continue
+		}
+		if cell.Source == victim {
+			continue
+		}
+		share := 0.0
+		if victimLoad > 0 {
+			share = cell.Packets / victimLoad
+		}
+		if share < c.cfg.ATRShare {
+			continue
+		}
+		atrs = append(atrs, ATR{Router: cell.Source, Packets: cell.Packets, Share: share})
+		if c.cfg.MaxATRs > 0 && len(atrs) >= c.cfg.MaxATRs {
+			break
+		}
+	}
+	sort.Slice(atrs, func(i, j int) bool { return atrs[i].Packets > atrs[j].Packets })
+	return atrs
+}
+
+// maybeWithdraw tracks calm epochs while pushback is active and withdraws
+// once the victim's load stays low long enough.
+func (c *Coordinator) maybeWithdraw(found bool, victim netsim.NodeID, load float64) {
+	if c.cfg.DisableWithdraw {
+		return
+	}
+	calm := !found || victim != c.activeVictim || load < c.cfg.WithdrawFactor*c.triggerLoad
+	if !calm {
+		c.calmEpochs = 0
+		return
+	}
+	c.calmEpochs++
+	if c.calmEpochs < c.cfg.WithdrawEpochs {
+		return
+	}
+	c.active = false
+	c.calmEpochs = 0
+	if c.onWithdraw != nil {
+		c.onWithdraw(c.activeVictim)
+	}
+}

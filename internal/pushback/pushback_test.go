@@ -1,0 +1,263 @@
+package pushback
+
+import (
+	"testing"
+
+	"mafic/internal/netsim"
+	"mafic/internal/trafficmatrix"
+)
+
+// report builds a synthetic epoch report: dests maps router -> |D_j|,
+// cells lists a_ij entries.
+func report(epoch int, dests map[netsim.NodeID]float64, cells []trafficmatrix.Cell) trafficmatrix.EpochReport {
+	return trafficmatrix.EpochReport{
+		Epoch:         epoch,
+		DestEstimates: dests,
+		Matrix:        cells,
+	}
+}
+
+func TestDetectsVictimByRelativeLoad(t *testing.T) {
+	var got *Request
+	c := NewCoordinator(Config{RelativeFactor: 4, ATRShare: 0.05}, func(r Request) { got = &r }, nil)
+
+	dests := map[netsim.NodeID]float64{1: 100, 2: 120, 3: 2000}
+	cells := []trafficmatrix.Cell{
+		{Source: 10, Dest: 3, Packets: 1500},
+		{Source: 11, Dest: 3, Packets: 400},
+		{Source: 12, Dest: 3, Packets: 20}, // below 5% share
+	}
+	c.HandleReport(report(1, dests, cells))
+
+	if got == nil {
+		t.Fatal("expected a pushback request")
+	}
+	if got.VictimRouter != 3 {
+		t.Fatalf("victim = %d, want 3", got.VictimRouter)
+	}
+	if len(got.ATRs) != 2 {
+		t.Fatalf("ATRs = %d, want 2 (the 20-packet source is below share)", len(got.ATRs))
+	}
+	if got.ATRs[0].Router != 10 || got.ATRs[1].Router != 11 {
+		t.Fatalf("ATR ranking wrong: %+v", got.ATRs)
+	}
+	if got.ATRs[0].Share < 0.7 {
+		t.Fatalf("top ATR share = %v, want > 0.7", got.ATRs[0].Share)
+	}
+	if !c.Active() || c.ActiveVictim() != 3 || c.Requests() != 1 {
+		t.Fatal("coordinator state after trigger is wrong")
+	}
+}
+
+func TestNoTriggerOnBalancedLoad(t *testing.T) {
+	fired := false
+	c := NewCoordinator(Config{RelativeFactor: 4, ATRShare: 0.05}, func(Request) { fired = true }, nil)
+	dests := map[netsim.NodeID]float64{1: 100, 2: 110, 3: 120, 4: 130}
+	c.HandleReport(report(1, dests, nil))
+	if fired || c.Active() {
+		t.Fatal("balanced load must not trigger pushback")
+	}
+}
+
+func TestAbsoluteThreshold(t *testing.T) {
+	fired := 0
+	c := NewCoordinator(Config{AbsoluteThreshold: 500, ATRShare: 0.01}, func(Request) { fired++ }, nil)
+	c.HandleReport(report(1, map[netsim.NodeID]float64{1: 300}, nil))
+	if fired != 0 {
+		t.Fatal("below absolute threshold must not trigger")
+	}
+	c.HandleReport(report(2, map[netsim.NodeID]float64{1: 600}, nil))
+	if fired != 1 {
+		t.Fatal("above absolute threshold must trigger")
+	}
+}
+
+func TestEligibleRestriction(t *testing.T) {
+	var got *Request
+	cfg := Config{AbsoluteThreshold: 100, ATRShare: 0.01, Eligible: []netsim.NodeID{11}}
+	c := NewCoordinator(cfg, func(r Request) { got = &r }, nil)
+	dests := map[netsim.NodeID]float64{3: 1000}
+	cells := []trafficmatrix.Cell{
+		{Source: 10, Dest: 3, Packets: 700},
+		{Source: 11, Dest: 3, Packets: 250},
+	}
+	c.HandleReport(report(1, dests, cells))
+	if got == nil {
+		t.Fatal("expected trigger")
+	}
+	if len(got.ATRs) != 1 || got.ATRs[0].Router != 11 {
+		t.Fatalf("eligibility filter failed: %+v", got.ATRs)
+	}
+}
+
+func TestMaxATRsCap(t *testing.T) {
+	var got *Request
+	cfg := Config{AbsoluteThreshold: 100, ATRShare: 0.01, MaxATRs: 1}
+	c := NewCoordinator(cfg, func(r Request) { got = &r }, nil)
+	dests := map[netsim.NodeID]float64{3: 1000}
+	cells := []trafficmatrix.Cell{
+		{Source: 10, Dest: 3, Packets: 700},
+		{Source: 11, Dest: 3, Packets: 250},
+	}
+	c.HandleReport(report(1, dests, cells))
+	if got == nil || len(got.ATRs) != 1 {
+		t.Fatalf("MaxATRs cap not applied: %+v", got)
+	}
+	if got.ATRs[0].Router != 10 {
+		t.Fatal("cap should keep the largest contributor")
+	}
+}
+
+func TestVictimNotListedAsATR(t *testing.T) {
+	var got *Request
+	c := NewCoordinator(Config{AbsoluteThreshold: 100, ATRShare: 0.01}, func(r Request) { got = &r }, nil)
+	dests := map[netsim.NodeID]float64{3: 1000}
+	cells := []trafficmatrix.Cell{
+		{Source: 3, Dest: 3, Packets: 900}, // locally generated, ignore
+		{Source: 10, Dest: 3, Packets: 400},
+	}
+	c.HandleReport(report(1, dests, cells))
+	if got == nil {
+		t.Fatal("expected trigger")
+	}
+	for _, a := range got.ATRs {
+		if a.Router == 3 {
+			t.Fatal("victim router must never be its own ATR")
+		}
+	}
+}
+
+func TestWithdrawAfterCalmEpochs(t *testing.T) {
+	withdrawn := netsim.NoNode
+	cfg := Config{AbsoluteThreshold: 500, ATRShare: 0.01, WithdrawFactor: 0.5, WithdrawEpochs: 2}
+	c := NewCoordinator(cfg, nil, func(v netsim.NodeID) { withdrawn = v })
+
+	c.HandleReport(report(1, map[netsim.NodeID]float64{7: 1000}, nil))
+	if !c.Active() {
+		t.Fatal("should be active after trigger")
+	}
+	// Load stays high: no withdrawal.
+	c.HandleReport(report(2, map[netsim.NodeID]float64{7: 900}, nil))
+	if !c.Active() {
+		t.Fatal("must stay active while load is high")
+	}
+	// Two calm epochs in a row withdraw the request.
+	c.HandleReport(report(3, map[netsim.NodeID]float64{7: 100}, nil))
+	if !c.Active() {
+		t.Fatal("one calm epoch must not withdraw yet")
+	}
+	c.HandleReport(report(4, map[netsim.NodeID]float64{7: 100}, nil))
+	if c.Active() {
+		t.Fatal("should have withdrawn after two calm epochs")
+	}
+	if withdrawn != 7 {
+		t.Fatalf("withdraw callback got %d, want 7", withdrawn)
+	}
+}
+
+func TestCalmStreakResetsOnRecurringAttack(t *testing.T) {
+	cfg := Config{AbsoluteThreshold: 500, ATRShare: 0.01, WithdrawFactor: 0.5, WithdrawEpochs: 2}
+	c := NewCoordinator(cfg, nil, nil)
+	c.HandleReport(report(1, map[netsim.NodeID]float64{7: 1000}, nil))
+	c.HandleReport(report(2, map[netsim.NodeID]float64{7: 100}, nil))  // calm 1
+	c.HandleReport(report(3, map[netsim.NodeID]float64{7: 1000}, nil)) // attack resumes
+	c.HandleReport(report(4, map[netsim.NodeID]float64{7: 100}, nil))  // calm 1 again
+	if !c.Active() {
+		t.Fatal("calm streak should have been reset by the recurring attack")
+	}
+}
+
+func TestNoRetriggerWhileActive(t *testing.T) {
+	fired := 0
+	cfg := Config{AbsoluteThreshold: 500, ATRShare: 0.01}
+	c := NewCoordinator(cfg, func(Request) { fired++ }, nil)
+	for epoch := 1; epoch <= 5; epoch++ {
+		c.HandleReport(report(epoch, map[netsim.NodeID]float64{7: 1000}, nil))
+	}
+	if fired != 1 {
+		t.Fatalf("pushback fired %d times for one sustained attack, want 1", fired)
+	}
+}
+
+func TestEmptyReportIsIgnored(t *testing.T) {
+	c := NewCoordinator(DefaultConfig(), nil, nil)
+	c.HandleReport(report(1, map[netsim.NodeID]float64{}, nil))
+	if c.Active() {
+		t.Fatal("empty report should not trigger")
+	}
+}
+
+func TestDefaultConfigSane(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.HistoryFactor <= 1 {
+		t.Fatal("history factor must exceed 1")
+	}
+	if cfg.ATRShare <= 0 || cfg.ATRShare >= 1 {
+		t.Fatal("ATR share must be a fraction")
+	}
+	if cfg.MinVictimLoad <= 0 {
+		t.Fatal("minimum victim load must be positive")
+	}
+}
+
+func TestHistoryBasedDetection(t *testing.T) {
+	var got *Request
+	cfg := Config{HistoryFactor: 1.5, MinHistoryEpochs: 2, MinVictimLoad: 50, ATRShare: 0.05}
+	c := NewCoordinator(cfg, func(r Request) { got = &r }, nil)
+
+	// Two quiet epochs build the baseline (~1000 pkt/epoch at router 9).
+	c.HandleReport(report(1, map[netsim.NodeID]float64{9: 1000, 2: 200}, nil))
+	c.HandleReport(report(2, map[netsim.NodeID]float64{9: 1050, 2: 210}, nil))
+	if got != nil {
+		t.Fatal("steady load must not trigger the history test")
+	}
+	// A modest fluctuation stays below 1.5x the baseline.
+	c.HandleReport(report(3, map[netsim.NodeID]float64{9: 1200, 2: 200}, nil))
+	if got != nil {
+		t.Fatal("small fluctuation must not trigger")
+	}
+	// The attack roughly doubles the victim's load.
+	cells := []trafficmatrix.Cell{{Source: 4, Dest: 9, Packets: 1500}}
+	c.HandleReport(report(4, map[netsim.NodeID]float64{9: 2600, 2: 210}, cells))
+	if got == nil {
+		t.Fatal("history test should have triggered on the surge")
+	}
+	if got.VictimRouter != 9 || len(got.ATRs) != 1 || got.ATRs[0].Router != 4 {
+		t.Fatalf("unexpected request: %+v", got)
+	}
+}
+
+func TestHistoryMinimumLoadGuard(t *testing.T) {
+	fired := false
+	cfg := Config{HistoryFactor: 1.5, MinHistoryEpochs: 2, MinVictimLoad: 500, ATRShare: 0.05}
+	c := NewCoordinator(cfg, func(Request) { fired = true }, nil)
+	c.HandleReport(report(1, map[netsim.NodeID]float64{9: 10}, nil))
+	c.HandleReport(report(2, map[netsim.NodeID]float64{9: 10}, nil))
+	c.HandleReport(report(3, map[netsim.NodeID]float64{9: 100}, nil))
+	if fired {
+		t.Fatal("surge on a nearly idle router must not trigger below MinVictimLoad")
+	}
+}
+
+func TestHistoryFrozenDuringAttack(t *testing.T) {
+	withdrawals := 0
+	cfg := Config{HistoryFactor: 1.5, MinHistoryEpochs: 2, MinVictimLoad: 50, ATRShare: 0.05,
+		WithdrawFactor: 0.6, WithdrawEpochs: 2}
+	c := NewCoordinator(cfg, nil, func(netsim.NodeID) { withdrawals++ })
+	c.HandleReport(report(1, map[netsim.NodeID]float64{9: 1000}, nil))
+	c.HandleReport(report(2, map[netsim.NodeID]float64{9: 1000}, nil))
+	// Attack epochs: the victim's baseline must not absorb the attack, so
+	// after the attack subsides the coordinator withdraws.
+	for epoch := 3; epoch <= 6; epoch++ {
+		c.HandleReport(report(epoch, map[netsim.NodeID]float64{9: 5000}, nil))
+	}
+	if !c.Active() {
+		t.Fatal("attack should have triggered")
+	}
+	c.HandleReport(report(7, map[netsim.NodeID]float64{9: 1000}, nil))
+	c.HandleReport(report(8, map[netsim.NodeID]float64{9: 1000}, nil))
+	if c.Active() || withdrawals != 1 {
+		t.Fatalf("pushback should withdraw once traffic returns to baseline (active=%v withdrawals=%d)",
+			c.Active(), withdrawals)
+	}
+}

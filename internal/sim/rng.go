@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RNG wraps a seeded pseudo-random source with the distributions the traffic
+// generators and the MAFIC dropper need. Each simulation owns exactly one RNG
+// so that a scenario's seed fully determines its outcome.
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Fork derives an independent generator from this one. Substreams keep
+// component behaviour stable when unrelated components are added or removed
+// from a scenario.
+func (g *RNG) Fork() *RNG {
+	return NewRNG(g.r.Int63())
+}
+
+// Float64 returns a uniform value in [0,1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Intn returns a uniform integer in [0,n). It returns 0 when n <= 0.
+func (g *RNG) Intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return g.r.Intn(n)
+}
+
+// Int63 returns a non-negative uniform 63-bit integer.
+func (g *RNG) Int63() int64 { return g.r.Int63() }
+
+// Uint64 returns a uniform 64-bit value.
+func (g *RNG) Uint64() uint64 { return g.r.Uint64() }
+
+// Bool returns true with probability p.
+func (g *RNG) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return g.r.Float64() < p
+}
+
+// Perm returns a random permutation of [0,n).
+func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
+
+// Exponential returns a sample from an exponential distribution with the
+// given mean. It returns 0 for non-positive means.
+func (g *RNG) Exponential(mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	return g.r.ExpFloat64() * mean
+}
+
+// Normal returns a sample from a normal distribution with the given mean and
+// standard deviation.
+func (g *RNG) Normal(mean, stddev float64) float64 {
+	return g.r.NormFloat64()*stddev + mean
+}
+
+// Pareto returns a sample from a bounded Pareto distribution with shape
+// alpha and minimum xm. Heavy-tailed flow sizes use this.
+func (g *RNG) Pareto(xm, alpha float64) float64 {
+	if xm <= 0 || alpha <= 0 {
+		return 0
+	}
+	u := g.r.Float64()
+	if u == 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	return xm / math.Pow(u, 1/alpha)
+}
+
+// Jitter returns base scaled by a uniform factor in [1-frac, 1+frac]. It is
+// used to desynchronise flow start times and sending intervals.
+func (g *RNG) Jitter(base float64, frac float64) float64 {
+	if frac <= 0 {
+		return base
+	}
+	return base * (1 + (g.r.Float64()*2-1)*frac)
+}

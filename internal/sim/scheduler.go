@@ -1,0 +1,190 @@
+package sim
+
+import (
+	"container/heap"
+	"errors"
+)
+
+// ErrStopped is returned by Run when the scheduler is halted via Stop before
+// the event queue drains.
+var ErrStopped = errors.New("sim: scheduler stopped")
+
+// Handler is the callback invoked when an event fires. The scheduler passes
+// the current virtual time so handlers never need to capture the scheduler
+// just to read the clock.
+type Handler func(now Time)
+
+// event is a single queued callback.
+type event struct {
+	at      Time
+	seq     uint64 // tie-breaker: FIFO among events scheduled for the same instant
+	fn      Handler
+	stopped bool
+	index   int
+}
+
+// EventRef identifies a scheduled event so it can be cancelled. The zero
+// value is inert: cancelling it is a no-op.
+type EventRef struct {
+	ev *event
+}
+
+// Cancel prevents the referenced event from firing. Cancelling an event that
+// already fired, or a zero EventRef, is safe and does nothing.
+func (r EventRef) Cancel() {
+	if r.ev != nil {
+		r.ev.stopped = true
+	}
+}
+
+// Pending reports whether the referenced event is still queued and will fire.
+func (r EventRef) Pending() bool {
+	return r.ev != nil && !r.ev.stopped && r.ev.index >= 0
+}
+
+// eventQueue is a min-heap ordered by (time, sequence number).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev, ok := x.(*event)
+	if !ok {
+		return
+	}
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Scheduler is a single-threaded discrete-event scheduler. It is not safe
+// for concurrent use; the simulation model is single-threaded by design,
+// which keeps runs deterministic.
+type Scheduler struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	stopped bool
+
+	// processed counts events that have fired, for instrumentation.
+	processed uint64
+}
+
+// NewScheduler returns a scheduler with its clock at zero and an empty queue.
+func NewScheduler() *Scheduler {
+	return &Scheduler{}
+}
+
+// Now reports the current virtual time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Len reports the number of pending events (including cancelled ones that
+// have not yet been discarded).
+func (s *Scheduler) Len() int { return len(s.queue) }
+
+// Processed reports how many events have fired so far.
+func (s *Scheduler) Processed() uint64 { return s.processed }
+
+// ScheduleAt queues fn to run at the absolute virtual time at. Events
+// scheduled in the past run at the current time instead; the clock never
+// moves backwards.
+func (s *Scheduler) ScheduleAt(at Time, fn Handler) EventRef {
+	if fn == nil {
+		return EventRef{}
+	}
+	if at < s.now {
+		at = s.now
+	}
+	ev := &event{at: at, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, ev)
+	return EventRef{ev: ev}
+}
+
+// ScheduleAfter queues fn to run delay after the current virtual time.
+func (s *Scheduler) ScheduleAfter(delay Time, fn Handler) EventRef {
+	if delay < 0 {
+		delay = 0
+	}
+	return s.ScheduleAt(s.now+delay, fn)
+}
+
+// Stop halts the run loop after the currently executing event returns.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// step pops and runs the next event. It reports false when the queue is empty.
+func (s *Scheduler) step() bool {
+	for len(s.queue) > 0 {
+		next, ok := heap.Pop(&s.queue).(*event)
+		if !ok {
+			return false
+		}
+		if next.stopped {
+			continue
+		}
+		s.now = next.at
+		s.processed++
+		next.fn(s.now)
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or Stop is called. It returns
+// ErrStopped in the latter case so callers can distinguish the two.
+func (s *Scheduler) Run() error {
+	s.stopped = false
+	for !s.stopped {
+		if !s.step() {
+			return nil
+		}
+	}
+	return ErrStopped
+}
+
+// RunUntil executes events with timestamps up to and including deadline and
+// then advances the clock to the deadline. Later events stay queued so the
+// simulation can be resumed.
+func (s *Scheduler) RunUntil(deadline Time) error {
+	s.stopped = false
+	for !s.stopped {
+		if len(s.queue) == 0 {
+			break
+		}
+		if s.queue[0].at > deadline {
+			break
+		}
+		if !s.step() {
+			break
+		}
+	}
+	if s.stopped {
+		return ErrStopped
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+	return nil
+}

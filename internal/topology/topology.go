@@ -1,0 +1,367 @@
+// Package topology builds the simulated AS-level domain the MAFIC evaluation
+// runs on: a connected core of routers, a designated last-hop router in front
+// of the victim server, a set of ingress (edge) routers where attack and
+// legitimate traffic enters the domain, and stub hosts attached to the edges.
+//
+// The generated domains mirror Figure 1 of the paper: legitimate clients and
+// zombies inject traffic at ingress routers, everything converges on the
+// last-hop router, and the victim sits behind it.
+package topology
+
+import (
+	"errors"
+	"fmt"
+
+	"mafic/internal/netsim"
+	"mafic/internal/sim"
+)
+
+// Errors returned by Build.
+var (
+	// ErrTooFewRouters is returned when the requested domain has fewer
+	// than two routers (a last-hop router plus at least one ingress).
+	ErrTooFewRouters = errors.New("topology: domain needs at least 2 routers")
+	// ErrNoIngress is returned when the configuration yields no ingress
+	// routers.
+	ErrNoIngress = errors.New("topology: domain needs at least 1 ingress router")
+)
+
+// Config describes the domain to generate. The zero value is not usable;
+// start from DefaultConfig.
+type Config struct {
+	// NumRouters is the total number of routers in the domain (paper
+	// parameter N, default 40).
+	NumRouters int
+	// NumIngress is the number of edge routers where traffic enters. If
+	// zero, a quarter of the routers (at least one) become ingress.
+	NumIngress int
+	// ExtraChords adds this many random shortcut links to the core ring
+	// so paths are not all forced through the same routers.
+	ExtraChords int
+
+	// CoreLink, AccessLink and VictimLink configure the three classes of
+	// links in the domain.
+	CoreLink   netsim.LinkConfig
+	AccessLink netsim.LinkConfig
+	VictimLink netsim.LinkConfig
+
+	// ClientsPerIngress is how many legitimate client hosts attach to
+	// each ingress router.
+	ClientsPerIngress int
+	// ZombiesPerIngress is how many attack hosts attach to each ingress
+	// router.
+	ZombiesPerIngress int
+	// BystanderHosts is the number of stub hosts whose addresses form
+	// the pool of "legitimate but spoofed" source addresses. They accept
+	// and ignore any packet sent to them (so probes to spoofed sources
+	// are silently swallowed, as in the real Internet).
+	BystanderHosts int
+}
+
+// DefaultConfig returns the domain configuration used throughout the paper's
+// evaluation (Table II: N = 40 routers) with link parameters chosen so that
+// edge-to-victim RTTs land in the tens of milliseconds.
+func DefaultConfig() Config {
+	return Config{
+		NumRouters:  40,
+		NumIngress:  0, // derived: NumRouters/4
+		ExtraChords: 10,
+		CoreLink: netsim.LinkConfig{
+			BandwidthBps: 1e9,
+			Delay:        2 * sim.Millisecond,
+			QueueLen:     1024,
+		},
+		AccessLink: netsim.LinkConfig{
+			BandwidthBps: 50e6,
+			Delay:        1 * sim.Millisecond,
+			QueueLen:     256,
+		},
+		VictimLink: netsim.LinkConfig{
+			BandwidthBps: 200e6,
+			Delay:        1 * sim.Millisecond,
+			QueueLen:     512,
+		},
+		ClientsPerIngress: 4,
+		ZombiesPerIngress: 2,
+		BystanderHosts:    16,
+	}
+}
+
+// Domain is a fully wired simulated network plus the structural roles the
+// defence components need to know about.
+type Domain struct {
+	// Net is the underlying packet-level network.
+	Net *netsim.Network
+
+	// Routers is every router in the domain.
+	Routers []*netsim.Router
+	// Ingress is the subset of routers where external traffic enters;
+	// these are the candidate attack-transit routers (ATRs).
+	Ingress []*netsim.Router
+	// LastHop is the router directly in front of the victim.
+	LastHop *netsim.Router
+
+	// Victim is the host under attack.
+	Victim *netsim.Host
+	// Clients are the legitimate traffic sources, grouped per ingress.
+	Clients []*netsim.Host
+	// Zombies are the attack traffic sources, grouped per ingress.
+	Zombies []*netsim.Host
+	// Bystanders are stub hosts whose addresses attackers spoof.
+	Bystanders []*netsim.Host
+
+	// clientIngress and zombieIngress record which ingress router each
+	// source host enters through.
+	clientIngress map[netsim.NodeID]*netsim.Router
+	zombieIngress map[netsim.NodeID]*netsim.Router
+}
+
+// IngressOf reports the ingress router a source host (client or zombie)
+// attaches to, or nil if the host is not an edge source.
+func (d *Domain) IngressOf(host *netsim.Host) *netsim.Router {
+	if r, ok := d.clientIngress[host.ID()]; ok {
+		return r
+	}
+	if r, ok := d.zombieIngress[host.ID()]; ok {
+		return r
+	}
+	return nil
+}
+
+// SpoofPool returns the addresses of the bystander hosts: valid, routable
+// addresses that do not belong to the attackers, exactly the "legitimate"
+// spoofed addresses described in Section III-A of the paper.
+func (d *Domain) SpoofPool() []netsim.IP {
+	pool := make([]netsim.IP, 0, len(d.Bystanders))
+	for _, b := range d.Bystanders {
+		pool = append(pool, b.PrimaryIP())
+	}
+	return pool
+}
+
+// VictimIP returns the victim server's address.
+func (d *Domain) VictimIP() netsim.IP { return d.Victim.PrimaryIP() }
+
+// Build generates a domain according to cfg, wiring links and installing
+// shortest-path routes on every router. The supplied RNG drives every random
+// choice so domains are reproducible.
+func Build(cfg Config, sched *sim.Scheduler, rng *sim.RNG) (*Domain, error) {
+	if cfg.NumRouters < 2 {
+		return nil, ErrTooFewRouters
+	}
+	numIngress := cfg.NumIngress
+	if numIngress <= 0 {
+		numIngress = cfg.NumRouters / 4
+		if numIngress < 1 {
+			numIngress = 1
+		}
+	}
+	if numIngress > cfg.NumRouters-1 {
+		numIngress = cfg.NumRouters - 1
+	}
+	if numIngress < 1 {
+		return nil, ErrNoIngress
+	}
+
+	net := netsim.New(sched, rng)
+	d := &Domain{
+		Net:           net,
+		clientIngress: make(map[netsim.NodeID]*netsim.Router),
+		zombieIngress: make(map[netsim.NodeID]*netsim.Router),
+	}
+
+	// Core routers: a ring plus random chords keeps the graph connected
+	// with path diversity, approximating an intra-AS mesh.
+	d.Routers = make([]*netsim.Router, 0, cfg.NumRouters)
+	for i := 0; i < cfg.NumRouters; i++ {
+		d.Routers = append(d.Routers, net.AddRouter(fmt.Sprintf("r%d", i)))
+	}
+	for i := 0; i < cfg.NumRouters; i++ {
+		a := d.Routers[i]
+		b := d.Routers[(i+1)%cfg.NumRouters]
+		if cfg.NumRouters == 2 && i == 1 {
+			break // avoid adding the 1->0 ring link twice for tiny domains
+		}
+		if err := net.ConnectDuplex(a.ID(), b.ID(), cfg.CoreLink); err != nil {
+			return nil, fmt.Errorf("core ring: %w", err)
+		}
+	}
+	for c := 0; c < cfg.ExtraChords && cfg.NumRouters > 3; c++ {
+		i := rng.Intn(cfg.NumRouters)
+		j := rng.Intn(cfg.NumRouters)
+		if i == j || net.LinkBetween(d.Routers[i].ID(), d.Routers[j].ID()) != nil {
+			continue
+		}
+		if err := net.ConnectDuplex(d.Routers[i].ID(), d.Routers[j].ID(), cfg.CoreLink); err != nil {
+			return nil, fmt.Errorf("core chord: %w", err)
+		}
+	}
+
+	// The last router is the last-hop router; ingress routers are spread
+	// evenly around the rest of the ring so attack paths are diverse.
+	d.LastHop = d.Routers[cfg.NumRouters-1]
+	stride := (cfg.NumRouters - 1) / numIngress
+	if stride < 1 {
+		stride = 1
+	}
+	for k := 0; k < numIngress; k++ {
+		idx := (k * stride) % (cfg.NumRouters - 1)
+		r := d.Routers[idx]
+		if containsRouter(d.Ingress, r) {
+			continue
+		}
+		d.Ingress = append(d.Ingress, r)
+	}
+	if len(d.Ingress) == 0 {
+		return nil, ErrNoIngress
+	}
+
+	// Victim server behind the last-hop router.
+	d.Victim = net.AddHost("victim", ipFrom(10, 0, 0, 1))
+	d.Victim.AttachTo(d.LastHop.ID())
+	if err := net.ConnectDuplex(d.Victim.ID(), d.LastHop.ID(), cfg.VictimLink); err != nil {
+		return nil, fmt.Errorf("victim link: %w", err)
+	}
+
+	// Source hosts behind each ingress router.
+	clientIdx, zombieIdx := 0, 0
+	for gi, ing := range d.Ingress {
+		for c := 0; c < cfg.ClientsPerIngress; c++ {
+			h := net.AddHost(fmt.Sprintf("client%d", clientIdx), ipFrom(192, 168, byte(gi), byte(10+c)))
+			clientIdx++
+			h.AttachTo(ing.ID())
+			if err := net.ConnectDuplex(h.ID(), ing.ID(), cfg.AccessLink); err != nil {
+				return nil, fmt.Errorf("client link: %w", err)
+			}
+			d.Clients = append(d.Clients, h)
+			d.clientIngress[h.ID()] = ing
+		}
+		for z := 0; z < cfg.ZombiesPerIngress; z++ {
+			h := net.AddHost(fmt.Sprintf("zombie%d", zombieIdx), ipFrom(172, 16, byte(gi), byte(10+z)))
+			zombieIdx++
+			h.AttachTo(ing.ID())
+			if err := net.ConnectDuplex(h.ID(), ing.ID(), cfg.AccessLink); err != nil {
+				return nil, fmt.Errorf("zombie link: %w", err)
+			}
+			d.Zombies = append(d.Zombies, h)
+			d.zombieIngress[h.ID()] = ing
+		}
+	}
+
+	// Bystander stub hosts scattered across non-ingress routers; their
+	// addresses form the spoof pool.
+	for b := 0; b < cfg.BystanderHosts; b++ {
+		attach := d.Routers[rng.Intn(cfg.NumRouters)]
+		h := net.AddHost(fmt.Sprintf("bystander%d", b), ipFrom(203, 0, byte(b/250), byte(b%250+1)))
+		h.AttachTo(attach.ID())
+		if err := net.ConnectDuplex(h.ID(), attach.ID(), cfg.AccessLink); err != nil {
+			return nil, fmt.Errorf("bystander link: %w", err)
+		}
+		// Bystanders silently swallow whatever reaches them.
+		h.SetDefaultHandler(func(*netsim.Packet, sim.Time) {})
+		d.Bystanders = append(d.Bystanders, h)
+	}
+
+	if err := InstallShortestPathRoutes(net); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func containsRouter(rs []*netsim.Router, r *netsim.Router) bool {
+	for _, x := range rs {
+		if x == r {
+			return true
+		}
+	}
+	return false
+}
+
+// ipFrom assembles an address from dotted-quad components.
+func ipFrom(a, b, c, d byte) netsim.IP {
+	return netsim.IP(uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d))
+}
+
+// InstallShortestPathRoutes computes hop-count shortest paths over the full
+// node graph (routers and hosts) and installs next-hop entries on every
+// router for every possible destination node.
+func InstallShortestPathRoutes(net *netsim.Network) error {
+	adj := adjacency(net)
+	// BFS rooted at every destination; the parent of a router in the BFS
+	// tree is its next hop toward the root.
+	for dest := range adj {
+		parents := bfsParents(adj, dest)
+		for id, parent := range parents {
+			r := net.Router(id)
+			if r == nil || id == dest {
+				continue
+			}
+			r.SetRoute(dest, parent)
+		}
+	}
+	return nil
+}
+
+// adjacency builds the undirected neighbour sets from the network's links.
+func adjacency(net *netsim.Network) map[netsim.NodeID][]netsim.NodeID {
+	adj := make(map[netsim.NodeID][]netsim.NodeID, net.NodeCount())
+	addNode := func(id netsim.NodeID) {
+		if _, ok := adj[id]; !ok {
+			adj[id] = nil
+		}
+	}
+	for id := range net.Routers() {
+		addNode(id)
+		adj[id] = append(adj[id], net.Neighbors(id)...)
+	}
+	for id := range net.Hosts() {
+		addNode(id)
+		adj[id] = append(adj[id], net.Neighbors(id)...)
+	}
+	return adj
+}
+
+// bfsParents runs a breadth-first search from root and returns, for every
+// reached node, its parent on the shortest path back toward root.
+func bfsParents(adj map[netsim.NodeID][]netsim.NodeID, root netsim.NodeID) map[netsim.NodeID]netsim.NodeID {
+	parents := make(map[netsim.NodeID]netsim.NodeID, len(adj))
+	visited := map[netsim.NodeID]bool{root: true}
+	queue := []netsim.NodeID{root}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range adj[cur] {
+			if visited[nb] {
+				continue
+			}
+			visited[nb] = true
+			parents[nb] = cur
+			queue = append(queue, nb)
+		}
+	}
+	return parents
+}
+
+// PathLength returns the number of hops between two nodes, or -1 if they are
+// disconnected. It is used by tests and by RTT estimation.
+func PathLength(net *netsim.Network, from, to netsim.NodeID) int {
+	if from == to {
+		return 0
+	}
+	adj := adjacency(net)
+	parents := bfsParents(adj, to)
+	hops := 0
+	cur := from
+	for cur != to {
+		next, ok := parents[cur]
+		if !ok {
+			return -1
+		}
+		cur = next
+		hops++
+		if hops > len(adj)+1 {
+			return -1
+		}
+	}
+	return hops
+}

@@ -1,0 +1,210 @@
+package traffic
+
+import (
+	"mafic/internal/netsim"
+	"mafic/internal/sim"
+)
+
+// CBRConfig tunes a constant-bit-rate source.
+type CBRConfig struct {
+	// Rate is the sending rate in packets per second.
+	Rate float64
+	// PacketSize is the data packet size in bytes.
+	PacketSize int
+	// Jitter randomises each inter-packet gap by ±Jitter fraction so
+	// that concurrent sources do not stay phase-locked.
+	Jitter float64
+}
+
+// CBRSource sends data packets at a constant rate and never reacts to loss,
+// acknowledgements or probes. With Malicious unset it models legitimate
+// unresponsive traffic (e.g. UDP media); attack sources are built on top of
+// it by AttackSource.
+type CBRSource struct {
+	id        int
+	cfg       CBRConfig
+	host      *netsim.Host
+	net       *netsim.Network
+	rng       *sim.RNG
+	label     netsim.FlowLabel
+	malicious bool
+	proto     netsim.Protocol
+
+	running   bool
+	seq       int64
+	sent      uint64
+	sendEvent sim.EventRef
+}
+
+var _ Flow = (*CBRSource)(nil)
+
+// NewCBRSource creates a legitimate constant-rate (UDP-like) source on the
+// given host targeting the victim address.
+func NewCBRSource(id int, cfg CBRConfig, host *netsim.Host, victim netsim.IP, srcPort uint16, rng *sim.RNG) *CBRSource {
+	return newCBR(id, cfg, host, rng, netsim.FlowLabel{
+		SrcIP:   host.PrimaryIP(),
+		DstIP:   victim,
+		SrcPort: srcPort,
+		DstPort: victimPort,
+	}, false, netsim.ProtoUDP)
+}
+
+func newCBR(id int, cfg CBRConfig, host *netsim.Host, rng *sim.RNG, label netsim.FlowLabel, malicious bool, proto netsim.Protocol) *CBRSource {
+	if cfg.PacketSize <= 0 {
+		cfg.PacketSize = DefaultDataSize
+	}
+	if cfg.Rate <= 0 {
+		cfg.Rate = 1
+	}
+	return &CBRSource{
+		id:        id,
+		cfg:       cfg,
+		host:      host,
+		net:       host.Network(),
+		rng:       rng,
+		label:     label,
+		malicious: malicious,
+		proto:     proto,
+	}
+}
+
+// ID implements Flow.
+func (s *CBRSource) ID() int { return s.id }
+
+// Label implements Flow.
+func (s *CBRSource) Label() netsim.FlowLabel { return s.label }
+
+// Malicious implements Flow.
+func (s *CBRSource) Malicious() bool { return s.malicious }
+
+// PacketsSent implements Flow.
+func (s *CBRSource) PacketsSent() uint64 { return s.sent }
+
+// CurrentRate implements Flow.
+func (s *CBRSource) CurrentRate() float64 { return s.cfg.Rate }
+
+// Start implements Flow.
+func (s *CBRSource) Start(at sim.Time) {
+	if s.running {
+		return
+	}
+	s.running = true
+	s.sendEvent = s.net.Scheduler().ScheduleAt(at, s.sendNext)
+}
+
+// Stop implements Flow.
+func (s *CBRSource) Stop() {
+	s.running = false
+	s.sendEvent.Cancel()
+}
+
+func (s *CBRSource) sendNext(sim.Time) {
+	if !s.running {
+		return
+	}
+	s.seq++
+	s.sent++
+	pkt := &netsim.Packet{
+		ID:        s.net.NextPacketID(),
+		Label:     s.label,
+		Kind:      netsim.KindData,
+		Proto:     s.proto,
+		Seq:       s.seq,
+		Size:      s.cfg.PacketSize,
+		FlowID:    s.id,
+		Malicious: s.malicious,
+	}
+	s.host.Send(pkt)
+
+	gap := float64(sim.Second) / s.cfg.Rate
+	if s.rng != nil && s.cfg.Jitter > 0 {
+		gap = s.rng.Jitter(gap, s.cfg.Jitter)
+	}
+	s.sendEvent = s.net.Scheduler().ScheduleAfter(sim.Time(gap), s.sendNext)
+}
+
+// SpoofMode selects how an attack flow forges its source address.
+type SpoofMode int
+
+// Spoofing modes, covering the spectrum described in Section III-A of the
+// paper.
+const (
+	// SpoofNone uses the zombie's real address. The flow is still
+	// unresponsive, so MAFIC condemns it after probing.
+	SpoofNone SpoofMode = iota + 1
+	// SpoofLegitimate uses a valid address belonging to some other host
+	// (a bystander). Probes reach that host and are ignored.
+	SpoofLegitimate
+	// SpoofIllegal uses an address routable nowhere; MAFIC's PDT fast
+	// path drops such flows immediately.
+	SpoofIllegal
+)
+
+// AttackConfig tunes a DDoS attack source.
+type AttackConfig struct {
+	// Rate is the flooding rate in packets per second (the paper's R).
+	Rate float64
+	// PacketSize is the attack packet size in bytes.
+	PacketSize int
+	// Jitter randomises inter-packet gaps by ±Jitter fraction.
+	Jitter float64
+	// Spoof selects the source-address forging strategy.
+	Spoof SpoofMode
+	// SpoofedIP is the forged source address for SpoofLegitimate and
+	// SpoofIllegal modes.
+	SpoofedIP netsim.IP
+}
+
+// AttackSource is an unresponsive flooding source run by a zombie. It is a
+// constant-rate sender whose packets are marked malicious (ground truth for
+// metrics only) and whose source address may be spoofed.
+type AttackSource struct {
+	cbr *CBRSource
+}
+
+var _ Flow = (*AttackSource)(nil)
+
+// NewAttackSource creates an attack flow on the given zombie host.
+func NewAttackSource(id int, cfg AttackConfig, zombie *netsim.Host, victim netsim.IP, srcPort uint16, rng *sim.RNG) *AttackSource {
+	src := zombie.PrimaryIP()
+	switch cfg.Spoof {
+	case SpoofLegitimate, SpoofIllegal:
+		if cfg.SpoofedIP != 0 {
+			src = cfg.SpoofedIP
+		}
+	default:
+		// SpoofNone keeps the zombie's own address.
+	}
+	label := netsim.FlowLabel{
+		SrcIP:   src,
+		DstIP:   victim,
+		SrcPort: srcPort,
+		DstPort: victimPort,
+	}
+	// The paper notes most attack traffic claims to be TCP, so attack
+	// packets carry the TCP protocol marker while ignoring all feedback.
+	cbr := newCBR(id, CBRConfig{Rate: cfg.Rate, PacketSize: cfg.PacketSize, Jitter: cfg.Jitter},
+		zombie, rng, label, true, netsim.ProtoTCP)
+	return &AttackSource{cbr: cbr}
+}
+
+// ID implements Flow.
+func (a *AttackSource) ID() int { return a.cbr.ID() }
+
+// Label implements Flow.
+func (a *AttackSource) Label() netsim.FlowLabel { return a.cbr.Label() }
+
+// Malicious implements Flow.
+func (a *AttackSource) Malicious() bool { return true }
+
+// PacketsSent implements Flow.
+func (a *AttackSource) PacketsSent() uint64 { return a.cbr.PacketsSent() }
+
+// CurrentRate implements Flow.
+func (a *AttackSource) CurrentRate() float64 { return a.cbr.CurrentRate() }
+
+// Start implements Flow.
+func (a *AttackSource) Start(at sim.Time) { a.cbr.Start(at) }
+
+// Stop implements Flow.
+func (a *AttackSource) Stop() { a.cbr.Stop() }

@@ -1,0 +1,173 @@
+package traffic
+
+import (
+	"mafic/internal/netsim"
+	"mafic/internal/sim"
+)
+
+// PulsingConfig tunes an on-off (pulsing) attack source. Pulsing attacks —
+// the shrew-style attacks referenced in the paper's related work — flood at
+// full rate for a short burst, stay silent for the rest of the period, and
+// are specifically designed to evade rate-based detectors while still
+// degrading TCP traffic.
+type PulsingConfig struct {
+	// PeakRate is the flooding rate during the on-phase in packets/s.
+	PeakRate float64
+	// Period is the full on+off cycle length.
+	Period sim.Time
+	// DutyCycle is the fraction of each period spent flooding (0,1].
+	DutyCycle float64
+	// PacketSize is the attack packet size in bytes.
+	PacketSize int
+	// Spoof selects the source-address forging strategy.
+	Spoof SpoofMode
+	// SpoofedIP is the forged source address for SpoofLegitimate and
+	// SpoofIllegal modes.
+	SpoofedIP netsim.IP
+}
+
+// DefaultPulsingConfig returns a classic low-duty-cycle pulse: 200 ms bursts
+// once per second at the full attack rate.
+func DefaultPulsingConfig(peakRate float64) PulsingConfig {
+	return PulsingConfig{
+		PeakRate:   peakRate,
+		Period:     sim.Second,
+		DutyCycle:  0.2,
+		PacketSize: DefaultDataSize,
+		Spoof:      SpoofNone,
+	}
+}
+
+// PulsingSource is an on-off attack flow. During on-phases it behaves like an
+// AttackSource at PeakRate; during off-phases it is silent. It never reacts
+// to probes or loss.
+type PulsingSource struct {
+	id    int
+	cfg   PulsingConfig
+	host  *netsim.Host
+	net   *netsim.Network
+	rng   *sim.RNG
+	label netsim.FlowLabel
+
+	running    bool
+	inBurst    bool
+	seq        int64
+	sent       uint64
+	bursts     uint64
+	sendEvent  sim.EventRef
+	phaseEvent sim.EventRef
+}
+
+var _ Flow = (*PulsingSource)(nil)
+
+// NewPulsingSource creates a pulsing attack flow on the given zombie host.
+func NewPulsingSource(id int, cfg PulsingConfig, zombie *netsim.Host, victim netsim.IP, srcPort uint16, rng *sim.RNG) *PulsingSource {
+	if cfg.PacketSize <= 0 {
+		cfg.PacketSize = DefaultDataSize
+	}
+	if cfg.PeakRate <= 0 {
+		cfg.PeakRate = 1
+	}
+	if cfg.Period <= 0 {
+		cfg.Period = sim.Second
+	}
+	if cfg.DutyCycle <= 0 || cfg.DutyCycle > 1 {
+		cfg.DutyCycle = 0.2
+	}
+	src := zombie.PrimaryIP()
+	if (cfg.Spoof == SpoofLegitimate || cfg.Spoof == SpoofIllegal) && cfg.SpoofedIP != 0 {
+		src = cfg.SpoofedIP
+	}
+	return &PulsingSource{
+		id:   id,
+		cfg:  cfg,
+		host: zombie,
+		net:  zombie.Network(),
+		rng:  rng,
+		label: netsim.FlowLabel{
+			SrcIP:   src,
+			DstIP:   victim,
+			SrcPort: srcPort,
+			DstPort: victimPort,
+		},
+	}
+}
+
+// ID implements Flow.
+func (s *PulsingSource) ID() int { return s.id }
+
+// Label implements Flow.
+func (s *PulsingSource) Label() netsim.FlowLabel { return s.label }
+
+// Malicious implements Flow.
+func (s *PulsingSource) Malicious() bool { return true }
+
+// PacketsSent implements Flow.
+func (s *PulsingSource) PacketsSent() uint64 { return s.sent }
+
+// Bursts reports how many on-phases have started.
+func (s *PulsingSource) Bursts() uint64 { return s.bursts }
+
+// CurrentRate implements Flow: the peak rate during a burst, zero otherwise.
+func (s *PulsingSource) CurrentRate() float64 {
+	if s.inBurst {
+		return s.cfg.PeakRate
+	}
+	return 0
+}
+
+// Start implements Flow.
+func (s *PulsingSource) Start(at sim.Time) {
+	if s.running {
+		return
+	}
+	s.running = true
+	s.phaseEvent = s.net.Scheduler().ScheduleAt(at, s.beginBurst)
+}
+
+// Stop implements Flow.
+func (s *PulsingSource) Stop() {
+	s.running = false
+	s.inBurst = false
+	s.sendEvent.Cancel()
+	s.phaseEvent.Cancel()
+}
+
+// beginBurst starts an on-phase and schedules its end and the next burst.
+func (s *PulsingSource) beginBurst(now sim.Time) {
+	if !s.running {
+		return
+	}
+	s.inBurst = true
+	s.bursts++
+	onTime := sim.Time(float64(s.cfg.Period) * s.cfg.DutyCycle)
+	s.net.Scheduler().ScheduleAt(now+onTime, func(sim.Time) { s.inBurst = false })
+	s.phaseEvent = s.net.Scheduler().ScheduleAt(now+s.cfg.Period, s.beginBurst)
+	s.sendEvent = s.net.Scheduler().ScheduleAt(now, s.sendNext)
+}
+
+// sendNext emits packets while the burst lasts.
+func (s *PulsingSource) sendNext(sim.Time) {
+	if !s.running || !s.inBurst {
+		return
+	}
+	s.seq++
+	s.sent++
+	pkt := &netsim.Packet{
+		ID:        s.net.NextPacketID(),
+		Label:     s.label,
+		Kind:      netsim.KindData,
+		Proto:     netsim.ProtoTCP,
+		Seq:       s.seq,
+		Size:      s.cfg.PacketSize,
+		FlowID:    s.id,
+		Malicious: true,
+	}
+	s.host.Send(pkt)
+
+	gap := float64(sim.Second) / s.cfg.PeakRate
+	if s.rng != nil {
+		gap = s.rng.Jitter(gap, 0.05)
+	}
+	s.sendEvent = s.net.Scheduler().ScheduleAfter(sim.Time(gap), s.sendNext)
+}

@@ -1,0 +1,43 @@
+// Package traffic provides the flow-level workload the MAFIC evaluation
+// needs: TCP-friendly adaptive sources that react to loss and duplicated
+// ACKs, constant-rate UDP sources, unresponsive DDoS attack sources with
+// spoofed addresses, a victim server that acknowledges TCP data, and a
+// workload builder that assembles the mixes used in the paper's figures
+// (traffic volume V_t, TCP share Γ, source rate R).
+package traffic
+
+import (
+	"mafic/internal/netsim"
+	"mafic/internal/sim"
+)
+
+// Flow is the common interface of every traffic source.
+type Flow interface {
+	// ID is the ground-truth flow identifier carried by every packet the
+	// flow emits.
+	ID() int
+	// Label is the flow's 4-tuple.
+	Label() netsim.FlowLabel
+	// Malicious reports whether the flow is part of the attack.
+	Malicious() bool
+	// Start schedules the flow's first transmission at the given time.
+	Start(at sim.Time)
+	// Stop halts the flow; queued transmissions are cancelled lazily.
+	Stop()
+	// PacketsSent reports how many data packets the flow has emitted.
+	PacketsSent() uint64
+	// CurrentRate reports the flow's present sending rate in packets per
+	// second (the congestion-controlled rate for TCP sources, the
+	// configured rate for constant-rate sources).
+	CurrentRate() float64
+}
+
+// DefaultDataSize is the payload packet size in bytes used by every source
+// unless overridden.
+const DefaultDataSize = 500
+
+// DefaultAckSize is the acknowledgement packet size in bytes.
+const DefaultAckSize = 40
+
+// victimPort is the destination port every flow targets on the victim.
+const victimPort = 80

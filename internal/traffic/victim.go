@@ -1,0 +1,77 @@
+package traffic
+
+import (
+	"mafic/internal/netsim"
+	"mafic/internal/sim"
+)
+
+// VictimServer is the host under attack. It accepts every incoming flow,
+// acknowledges TCP data so legitimate senders' congestion control keeps
+// working, and keeps simple arrival counters.
+type VictimServer struct {
+	host *netsim.Host
+	net  *netsim.Network
+
+	ackSize int
+
+	received      uint64
+	receivedBad   uint64
+	receivedGood  uint64
+	acksGenerated uint64
+}
+
+// NewVictimServer installs a server on the given host. ackSize is the size
+// of generated acknowledgements in bytes; zero means DefaultAckSize.
+func NewVictimServer(host *netsim.Host, ackSize int) *VictimServer {
+	if ackSize <= 0 {
+		ackSize = DefaultAckSize
+	}
+	v := &VictimServer{host: host, net: host.Network(), ackSize: ackSize}
+	host.SetDefaultHandler(v.onPacket)
+	return v
+}
+
+// Host returns the underlying host.
+func (v *VictimServer) Host() *netsim.Host { return v.host }
+
+// Received reports the total number of data packets that reached the victim.
+func (v *VictimServer) Received() uint64 { return v.received }
+
+// ReceivedMalicious reports how many attack packets reached the victim.
+func (v *VictimServer) ReceivedMalicious() uint64 { return v.receivedBad }
+
+// ReceivedLegitimate reports how many legitimate packets reached the victim.
+func (v *VictimServer) ReceivedLegitimate() uint64 { return v.receivedGood }
+
+// AcksGenerated reports how many acknowledgements the server sent.
+func (v *VictimServer) AcksGenerated() uint64 { return v.acksGenerated }
+
+// onPacket handles every packet delivered to the victim host.
+func (v *VictimServer) onPacket(pkt *netsim.Packet, _ sim.Time) {
+	if pkt.Kind != netsim.KindData {
+		return
+	}
+	v.received++
+	if pkt.Malicious {
+		v.receivedBad++
+	} else {
+		v.receivedGood++
+	}
+	if pkt.Proto != netsim.ProtoTCP {
+		return
+	}
+	// Acknowledge TCP data back toward the claimed source. For spoofed
+	// flows the acknowledgement goes to the spoofed owner (or nowhere),
+	// exactly as on the real Internet.
+	ack := &netsim.Packet{
+		ID:     v.net.NextPacketID(),
+		Label:  pkt.Label.Reverse(),
+		Kind:   netsim.KindAck,
+		Proto:  netsim.ProtoTCP,
+		Seq:    pkt.Seq,
+		Size:   v.ackSize,
+		FlowID: pkt.FlowID,
+	}
+	v.acksGenerated++
+	v.host.Send(ack)
+}

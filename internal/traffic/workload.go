@@ -1,0 +1,267 @@
+package traffic
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"mafic/internal/netsim"
+	"mafic/internal/sim"
+	"mafic/internal/topology"
+)
+
+// Errors returned by BuildWorkload.
+var (
+	// ErrNoSources is returned when the domain has no client or zombie
+	// hosts to place flows on.
+	ErrNoSources = errors.New("traffic: domain has no source hosts")
+	// ErrBadSpec is returned for inconsistent workload specifications.
+	ErrBadSpec = errors.New("traffic: invalid workload spec")
+)
+
+// WorkloadSpec describes the traffic mix of one experiment in the paper's
+// terms: total traffic volume V_t (number of flows), TCP share Γ, and source
+// rate R for the attack flows.
+type WorkloadSpec struct {
+	// TotalFlows is V_t, the total number of flows.
+	TotalFlows int
+	// TCPShare is Γ, the fraction of flows that are legitimate TCP
+	// (responsive) flows.
+	TCPShare float64
+	// UDPShare is the fraction of flows that are legitimate but
+	// unresponsive constant-rate flows. The remainder
+	// (1 − TCPShare − UDPShare) are attack flows.
+	UDPShare float64
+
+	// AttackRate is R: each attack flow's sending rate in packets/s.
+	AttackRate float64
+	// LegitRate caps each legitimate TCP flow's rate in packets/s.
+	LegitRate float64
+	// UDPRate is each legitimate UDP flow's rate in packets/s.
+	UDPRate float64
+	// PacketSize is the data packet size in bytes for every flow.
+	PacketSize int
+	// RTT is the RTT estimate given to TCP sources for pacing.
+	RTT sim.Time
+
+	// AttackPulsePeriod, when positive, turns every attack flow into an
+	// on-off (pulsing) source with this cycle length instead of a
+	// constant-rate flood.
+	AttackPulsePeriod sim.Time
+	// AttackDutyCycle is the fraction of each pulse period spent
+	// flooding when AttackPulsePeriod is set. Zero means 0.2.
+	AttackDutyCycle float64
+
+	// SpoofIllegalFraction is the fraction of attack flows that forge
+	// unroutable source addresses (dropped by MAFIC's PDT fast path).
+	SpoofIllegalFraction float64
+	// SpoofLegitFraction is the fraction of attack flows that forge
+	// valid addresses belonging to bystander hosts. Any remainder uses
+	// the zombies' own addresses.
+	SpoofLegitFraction float64
+
+	// LegitStart is when legitimate flows begin, spread uniformly over
+	// StartWindow.
+	LegitStart sim.Time
+	// StartWindow spreads legitimate flow starts so they do not
+	// synchronise.
+	StartWindow sim.Time
+	// AttackStart is when every attack flow begins flooding.
+	AttackStart sim.Time
+}
+
+// DefaultWorkloadSpec returns the paper's default traffic mix (Table II:
+// V_t = 50 flows, Γ = 95%, R = 10⁶ packets/s) with the packet rate scaled
+// down by 1000× so a software simulation completes quickly; see DESIGN.md
+// for the substitution note.
+func DefaultWorkloadSpec() WorkloadSpec {
+	return WorkloadSpec{
+		TotalFlows:           50,
+		TCPShare:             0.95,
+		UDPShare:             0,
+		AttackRate:           5000, // R = 1e6 pkt/s scaled by 1/200
+		LegitRate:            250,
+		UDPRate:              100,
+		PacketSize:           DefaultDataSize,
+		RTT:                  40 * sim.Millisecond,
+		SpoofIllegalFraction: 0.2,
+		SpoofLegitFraction:   0.5,
+		LegitStart:           0,
+		StartWindow:          200 * sim.Millisecond,
+		AttackStart:          500 * sim.Millisecond,
+	}
+}
+
+// Counts returns the number of TCP, UDP and attack flows the spec yields.
+// The attack always gets at least one flow so every scenario exercises the
+// defence.
+func (s WorkloadSpec) Counts() (tcp, udp, attack int) {
+	tcp = int(math.Round(float64(s.TotalFlows) * s.TCPShare))
+	udp = int(math.Round(float64(s.TotalFlows) * s.UDPShare))
+	if tcp+udp > s.TotalFlows {
+		udp = s.TotalFlows - tcp
+		if udp < 0 {
+			udp = 0
+			tcp = s.TotalFlows
+		}
+	}
+	attack = s.TotalFlows - tcp - udp
+	if attack < 1 && s.TotalFlows > 0 {
+		attack = 1
+		if tcp > 0 {
+			tcp--
+		} else if udp > 0 {
+			udp--
+		}
+	}
+	return tcp, udp, attack
+}
+
+// Validate reports specification errors.
+func (s WorkloadSpec) Validate() error {
+	if s.TotalFlows <= 0 {
+		return fmt.Errorf("%w: total flows %d", ErrBadSpec, s.TotalFlows)
+	}
+	if s.TCPShare < 0 || s.TCPShare > 1 || s.UDPShare < 0 || s.UDPShare > 1 || s.TCPShare+s.UDPShare > 1.0+1e-9 {
+		return fmt.Errorf("%w: shares tcp=%v udp=%v", ErrBadSpec, s.TCPShare, s.UDPShare)
+	}
+	if s.AttackRate <= 0 || s.LegitRate <= 0 {
+		return fmt.Errorf("%w: rates must be positive", ErrBadSpec)
+	}
+	frac := s.SpoofIllegalFraction + s.SpoofLegitFraction
+	if s.SpoofIllegalFraction < 0 || s.SpoofLegitFraction < 0 || frac > 1.0+1e-9 {
+		return fmt.Errorf("%w: spoof fractions", ErrBadSpec)
+	}
+	return nil
+}
+
+// Workload is the instantiated traffic of one scenario.
+type Workload struct {
+	// Victim is the server installed on the victim host.
+	Victim *VictimServer
+	// Flows is every flow, legitimate and attack.
+	Flows []Flow
+	// Legitimate and Attack partition Flows.
+	Legitimate []Flow
+	Attack     []Flow
+}
+
+// StartAll schedules every flow: legitimate flows spread over the spec's
+// start window, attack flows at the attack start time.
+func (w *Workload) StartAll(spec WorkloadSpec, rng *sim.RNG) {
+	for _, f := range w.Legitimate {
+		offset := sim.Time(0)
+		if spec.StartWindow > 0 {
+			offset = sim.Time(rng.Intn(int(spec.StartWindow)))
+		}
+		f.Start(spec.LegitStart + offset)
+	}
+	for _, f := range w.Attack {
+		f.Start(spec.AttackStart)
+	}
+}
+
+// StopAll halts every flow.
+func (w *Workload) StopAll() {
+	for _, f := range w.Flows {
+		f.Stop()
+	}
+}
+
+// PacketsSent sums the data packets emitted by legitimate and attack flows.
+func (w *Workload) PacketsSent() (legit, attack uint64) {
+	for _, f := range w.Legitimate {
+		legit += f.PacketsSent()
+	}
+	for _, f := range w.Attack {
+		attack += f.PacketsSent()
+	}
+	return legit, attack
+}
+
+// BuildWorkload instantiates the spec's flows on the domain: legitimate
+// flows on client hosts (round-robin), attack flows on zombie hosts
+// (round-robin), and a victim server on the victim host.
+func BuildWorkload(spec WorkloadSpec, d *topology.Domain, rng *sim.RNG) (*Workload, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if len(d.Clients) == 0 || len(d.Zombies) == 0 {
+		return nil, ErrNoSources
+	}
+	tcpCount, udpCount, attackCount := spec.Counts()
+
+	w := &Workload{Victim: NewVictimServer(d.Victim, DefaultAckSize)}
+	victimIP := d.VictimIP()
+	flowID := 0
+	nextPort := func() uint16 { return uint16(10000 + flowID) }
+
+	for i := 0; i < tcpCount; i++ {
+		host := d.Clients[i%len(d.Clients)]
+		cfg := TCPConfig{
+			RTT:                spec.RTT,
+			MaxRate:            spec.LegitRate,
+			InitialWindow:      2,
+			SlowStartThreshold: 16,
+			PacketSize:         spec.PacketSize,
+		}
+		f := NewTCPSource(flowID, cfg, host, victimIP, nextPort())
+		flowID++
+		w.Flows = append(w.Flows, f)
+		w.Legitimate = append(w.Legitimate, f)
+	}
+
+	for i := 0; i < udpCount; i++ {
+		host := d.Clients[i%len(d.Clients)]
+		cfg := CBRConfig{Rate: spec.UDPRate, PacketSize: spec.PacketSize, Jitter: 0.1}
+		f := NewCBRSource(flowID, cfg, host, victimIP, nextPort(), rng.Fork())
+		flowID++
+		w.Flows = append(w.Flows, f)
+		w.Legitimate = append(w.Legitimate, f)
+	}
+
+	spoofPool := d.SpoofPool()
+	illegalFlows := int(math.Round(spec.SpoofIllegalFraction * float64(attackCount)))
+	legitSpoofFlows := int(math.Round(spec.SpoofLegitFraction * float64(attackCount)))
+	for i := 0; i < attackCount; i++ {
+		zombie := d.Zombies[i%len(d.Zombies)]
+		spoof := SpoofNone
+		var spoofedIP netsim.IP
+		switch {
+		case i < illegalFlows:
+			spoof = SpoofIllegal
+			// Addresses under 1.0.0.0/8 are never allocated by the
+			// topology builder, so they are unroutable by construction.
+			spoofedIP = netsim.IP(0x01000000 | uint32(flowID+1))
+		case i < illegalFlows+legitSpoofFlows && len(spoofPool) > 0:
+			spoof = SpoofLegitimate
+			spoofedIP = spoofPool[i%len(spoofPool)]
+		}
+
+		var f Flow
+		if spec.AttackPulsePeriod > 0 {
+			pcfg := PulsingConfig{
+				PeakRate:   spec.AttackRate,
+				Period:     spec.AttackPulsePeriod,
+				DutyCycle:  spec.AttackDutyCycle,
+				PacketSize: spec.PacketSize,
+				Spoof:      spoof,
+				SpoofedIP:  spoofedIP,
+			}
+			f = NewPulsingSource(flowID, pcfg, zombie, victimIP, nextPort(), rng.Fork())
+		} else {
+			cfg := AttackConfig{
+				Rate:       spec.AttackRate,
+				PacketSize: spec.PacketSize,
+				Jitter:     0.05,
+				Spoof:      spoof,
+				SpoofedIP:  spoofedIP,
+			}
+			f = NewAttackSource(flowID, cfg, zombie, victimIP, nextPort(), rng.Fork())
+		}
+		flowID++
+		w.Flows = append(w.Flows, f)
+		w.Attack = append(w.Attack, f)
+	}
+	return w, nil
+}

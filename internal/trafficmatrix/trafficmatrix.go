@@ -1,0 +1,277 @@
+// Package trafficmatrix implements the set-union counting measurement layer
+// of the paper (Section II): every router keeps two LogLog sketches per
+// measurement epoch — S_i, the identities of packets injected into the domain
+// at that router, and D_j, the identities of packets terminating there — and
+// a monitor periodically estimates the traffic matrix
+//
+//	a_ij = |S_i ∩ D_j| = |S_i| + |D_j| − |S_i ∪ D_j|
+//
+// from which the pushback layer detects victims (abnormally large |D_j|) and
+// identifies the attack-transit routers (large a_ij toward the victim).
+package trafficmatrix
+
+import (
+	"fmt"
+	"sort"
+
+	"mafic/internal/loglog"
+	"mafic/internal/netsim"
+	"mafic/internal/sim"
+)
+
+// CounterName is the filter name router-attached counters register under.
+const CounterName = "loglog-counter"
+
+// Counter is the per-router measurement element, the analogue of the
+// LogLogCounter Connector subclass the paper adds to NS-2. It implements
+// netsim.Filter and never drops packets.
+type Counter struct {
+	router  *netsim.Router
+	buckets int
+
+	source *loglog.Sketch // S_i: packets entering the domain here
+	dest   *loglog.Sketch // D_j: packets terminating here
+
+	sourcePkts uint64
+	destPkts   uint64
+	transit    uint64
+}
+
+var _ netsim.Filter = (*Counter)(nil)
+
+// NewCounter creates a counter for the given router using LogLog sketches
+// with the given bucket count.
+func NewCounter(router *netsim.Router, buckets int) (*Counter, error) {
+	src, err := loglog.New(buckets)
+	if err != nil {
+		return nil, fmt.Errorf("source sketch: %w", err)
+	}
+	dst, err := loglog.New(buckets)
+	if err != nil {
+		return nil, fmt.Errorf("dest sketch: %w", err)
+	}
+	return &Counter{router: router, buckets: buckets, source: src, dest: dst}, nil
+}
+
+// Name implements netsim.Filter.
+func (c *Counter) Name() string { return CounterName }
+
+// Router returns the router the counter observes.
+func (c *Counter) Router() *netsim.Router { return c.router }
+
+// Handle records the packet into the appropriate sketches and always lets it
+// continue: the measurement layer is purely passive.
+func (c *Counter) Handle(pkt *netsim.Packet, _ sim.Time, at *netsim.Router) netsim.Action {
+	// Control traffic (pushback signalling, probes) is not user traffic
+	// and is excluded from the matrix.
+	if pkt.Kind == netsim.KindControl || pkt.Kind == netsim.KindProbe {
+		return netsim.ActionForward
+	}
+	if pkt.Hops == 0 {
+		c.source.Add(pkt.ID)
+		c.sourcePkts++
+	} else {
+		c.transit++
+	}
+	destNode := at.Network().Owner(pkt.Label.DstIP)
+	if destNode != netsim.NoNode && at.Network().LinkBetween(at.ID(), destNode) != nil {
+		c.dest.Add(pkt.ID)
+		c.destPkts++
+	}
+	return netsim.ActionForward
+}
+
+// SourceEstimate returns the current-epoch estimate of |S_i|.
+func (c *Counter) SourceEstimate() float64 { return c.source.Estimate() }
+
+// DestEstimate returns the current-epoch estimate of |D_j|.
+func (c *Counter) DestEstimate() float64 { return c.dest.Estimate() }
+
+// SourcePackets returns the exact number of packets counted into S_i this
+// epoch (used by tests to validate the sketches).
+func (c *Counter) SourcePackets() uint64 { return c.sourcePkts }
+
+// DestPackets returns the exact number of packets counted into D_j.
+func (c *Counter) DestPackets() uint64 { return c.destPkts }
+
+// snapshot clones the sketches for epoch processing.
+func (c *Counter) snapshot() (src, dst *loglog.Sketch) {
+	return c.source.Clone(), c.dest.Clone()
+}
+
+// reset clears the per-epoch state.
+func (c *Counter) reset() {
+	c.source.Reset()
+	c.dest.Reset()
+	c.sourcePkts = 0
+	c.destPkts = 0
+	c.transit = 0
+}
+
+// Cell is one traffic-matrix entry: the estimated number of distinct packets
+// entering at Source and terminating at Dest during the epoch.
+type Cell struct {
+	Source netsim.NodeID
+	Dest   netsim.NodeID
+	// Packets is the a_ij estimate.
+	Packets float64
+}
+
+// EpochReport is the monitor's per-epoch output.
+type EpochReport struct {
+	// Epoch is the index of the measurement period, starting at 1.
+	Epoch int
+	// Start and End bound the measurement period.
+	Start, End sim.Time
+	// DestEstimates maps each router to its |D_j| estimate.
+	DestEstimates map[netsim.NodeID]float64
+	// SourceEstimates maps each router to its |S_i| estimate.
+	SourceEstimates map[netsim.NodeID]float64
+	// Matrix holds the a_ij estimates for every (source, dest) pair with
+	// non-trivial traffic.
+	Matrix []Cell
+}
+
+// TopSources returns the source routers ranked by their estimated
+// contribution a_ij toward the given destination router, largest first.
+func (r *EpochReport) TopSources(dest netsim.NodeID) []Cell {
+	var cells []Cell
+	for _, c := range r.Matrix {
+		if c.Dest == dest {
+			cells = append(cells, c)
+		}
+	}
+	sort.Slice(cells, func(i, j int) bool { return cells[i].Packets > cells[j].Packets })
+	return cells
+}
+
+// Monitor aggregates the per-router counters and computes the traffic matrix
+// once per epoch, the role the TrafficMonitor object plays in the paper's
+// NS-2 implementation.
+type Monitor struct {
+	sched    *sim.Scheduler
+	counters map[netsim.NodeID]*Counter
+	epoch    sim.Time
+
+	epochIndex int
+	epochStart sim.Time
+	onReport   func(EpochReport)
+
+	stop    bool
+	running bool
+}
+
+// MonitorConfig configures a Monitor.
+type MonitorConfig struct {
+	// Epoch is the measurement period length.
+	Epoch sim.Time
+	// Buckets is the LogLog bucket count for every counter; zero means
+	// loglog.DefaultBuckets.
+	Buckets int
+}
+
+// NewMonitor creates a monitor and attaches a counter to every router of the
+// network. The onReport callback receives each epoch's traffic matrix.
+func NewMonitor(net *netsim.Network, cfg MonitorConfig, onReport func(EpochReport)) (*Monitor, error) {
+	if cfg.Buckets <= 0 {
+		cfg.Buckets = loglog.DefaultBuckets
+	}
+	if cfg.Epoch <= 0 {
+		cfg.Epoch = 100 * sim.Millisecond
+	}
+	m := &Monitor{
+		sched:    net.Scheduler(),
+		counters: make(map[netsim.NodeID]*Counter, len(net.Routers())),
+		epoch:    cfg.Epoch,
+		onReport: onReport,
+	}
+	for id, r := range net.Routers() {
+		c, err := NewCounter(r, cfg.Buckets)
+		if err != nil {
+			return nil, err
+		}
+		r.AttachFilter(c)
+		m.counters[id] = c
+	}
+	return m, nil
+}
+
+// Counter returns the counter attached to the given router, or nil.
+func (m *Monitor) Counter(id netsim.NodeID) *Counter { return m.counters[id] }
+
+// Epoch returns the measurement period length.
+func (m *Monitor) Epoch() sim.Time { return m.epoch }
+
+// Start schedules periodic epoch processing beginning one epoch from now.
+func (m *Monitor) Start() {
+	if m.running {
+		return
+	}
+	m.running = true
+	m.stop = false
+	m.epochStart = m.sched.Now()
+	m.sched.ScheduleAfter(m.epoch, m.tick)
+}
+
+// Stop halts epoch processing after the current epoch completes.
+func (m *Monitor) Stop() { m.stop = true }
+
+func (m *Monitor) tick(now sim.Time) {
+	report := m.Compute(now)
+	if m.onReport != nil {
+		m.onReport(report)
+	}
+	for _, c := range m.counters {
+		c.reset()
+	}
+	m.epochStart = now
+	if m.stop {
+		m.running = false
+		return
+	}
+	m.sched.ScheduleAfter(m.epoch, m.tick)
+}
+
+// Compute builds an EpochReport from the counters' current state without
+// resetting them. The periodic tick uses it; tests and on-demand diagnostics
+// may call it directly.
+func (m *Monitor) Compute(now sim.Time) EpochReport {
+	m.epochIndex++
+	report := EpochReport{
+		Epoch:           m.epochIndex,
+		Start:           m.epochStart,
+		End:             now,
+		DestEstimates:   make(map[netsim.NodeID]float64, len(m.counters)),
+		SourceEstimates: make(map[netsim.NodeID]float64, len(m.counters)),
+	}
+
+	type snap struct {
+		id       netsim.NodeID
+		src, dst *loglog.Sketch
+	}
+	snaps := make([]snap, 0, len(m.counters))
+	for id, c := range m.counters {
+		s, d := c.snapshot()
+		snaps = append(snaps, snap{id: id, src: s, dst: d})
+		report.SourceEstimates[id] = s.Estimate()
+		report.DestEstimates[id] = d.Estimate()
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].id < snaps[j].id })
+
+	for _, si := range snaps {
+		if report.SourceEstimates[si.id] < 1 {
+			continue
+		}
+		for _, dj := range snaps {
+			if report.DestEstimates[dj.id] < 1 {
+				continue
+			}
+			aij, err := loglog.IntersectionEstimate(si.src, dj.dst)
+			if err != nil || aij < 1 {
+				continue
+			}
+			report.Matrix = append(report.Matrix, Cell{Source: si.id, Dest: dj.id, Packets: aij})
+		}
+	}
+	return report
+}
