@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: all build test vet bench bench-baseline
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# bench measures the current engine (ns/op, B/op, allocs/op per figure
+# benchmark) and writes BENCH_current.json; diff it against the tracked
+# BENCH_baseline.json to see the performance trajectory.
+bench:
+	$(GO) run ./cmd/maficbench -out BENCH_current.json
+
+# bench-baseline deliberately re-records the tracked baseline. Run it in the
+# PR that changes engine performance so the next PR measures against it.
+bench-baseline:
+	$(GO) run ./cmd/maficbench -out BENCH_baseline.json

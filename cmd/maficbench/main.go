@@ -1,0 +1,170 @@
+// Command maficbench measures the simulation engine's throughput and
+// allocation behaviour and emits the results as JSON, one record per
+// benchmark, mirroring the figure benchmarks in bench_test.go.
+//
+// It exists so the performance trajectory of the engine is tracked across
+// PRs: BENCH_baseline.json at the repository root was produced by this tool
+// and records the reference numbers future changes are compared against.
+//
+//	go run ./cmd/maficbench -out BENCH_current.json
+//	go run ./cmd/maficbench -benchmarks table2,fig3a
+//
+// Each record reports ns/op, B/op and allocs/op exactly as
+// `go test -bench=. -benchmem` would, because the tool drives the same code
+// through testing.Benchmark.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+
+	"mafic/internal/experiment"
+	"mafic/internal/sim"
+)
+
+// BenchResult is one benchmark's measurement in the emitted JSON.
+type BenchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"nsPerOp"`
+	BytesPerOp  int64   `json:"bytesPerOp"`
+	AllocsPerOp int64   `json:"allocsPerOp"`
+}
+
+// BenchReport is the full emitted document.
+type BenchReport struct {
+	GoVersion string        `json:"goVersion"`
+	GOOS      string        `json:"goos"`
+	GOARCH    string        `json:"goarch"`
+	NumCPU    int           `json:"numCPU"`
+	Results   []BenchResult `json:"results"`
+}
+
+// benchScenario mirrors benchBase in bench_test.go: the full pipeline on a
+// smaller domain and a shorter timeline.
+func benchScenario() experiment.Scenario {
+	s := experiment.DefaultScenario()
+	s.Topology.NumRouters = 20
+	s.Topology.ExtraChords = 5
+	s.Topology.BystanderHosts = 8
+	s.Workload.TotalFlows = 30
+	s.Duration = 1800 * sim.Millisecond
+	s.Workload.AttackStart = 600 * sim.Millisecond
+	s.DetectionFallback = 300 * sim.Millisecond
+	return s
+}
+
+func benchOpts() experiment.SweepOptions {
+	base := benchScenario()
+	return experiment.SweepOptions{Quick: true, Seed: 1, Base: &base}
+}
+
+// benchmarks enumerates every tracked benchmark by short name.
+var benchmarks = []struct {
+	name string
+	fn   func(b *testing.B)
+}{
+	{name: "table2", fn: func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := experiment.Run(benchScenario())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.Activated {
+				b.Fatal("defense never activated")
+			}
+		}
+	}},
+	{name: "fig3a", fn: figureBench(experiment.FigureF3a)},
+	{name: "fig3b", fn: figureBench(experiment.FigureF3b)},
+	{name: "fig4a", fn: figureBench(experiment.FigureF4a)},
+	{name: "fig4b", fn: figureBench(experiment.FigureF4b)},
+	{name: "fig5a", fn: figureBench(experiment.FigureF5a)},
+	{name: "fig5b", fn: figureBench(experiment.FigureF5b)},
+	{name: "fig5c", fn: figureBench(experiment.FigureF5c)},
+	{name: "fig6a", fn: figureBench(experiment.FigureF6a)},
+	{name: "fig6b", fn: figureBench(experiment.FigureF6b)},
+	{name: "fig6c", fn: figureBench(experiment.FigureF6c)},
+	{name: "fig7", fn: figureBench(experiment.FigureF7)},
+	{name: "ablation-baseline", fn: figureBench(experiment.FigureAblationBase)},
+	{name: "ablation-probe", fn: figureBench(experiment.FigureAblationProbe)},
+	{name: "ablation-pulsing", fn: figureBench(experiment.FigureAblationPulsing)},
+}
+
+func figureBench(id experiment.FigureID) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			fig, err := experiment.Generate(id, benchOpts())
+			if err != nil {
+				b.Fatalf("figure %s: %v", id, err)
+			}
+			if len(fig.Series) == 0 {
+				b.Fatalf("figure %s produced no series", id)
+			}
+		}
+	}
+}
+
+func main() {
+	out := flag.String("out", "", "write the JSON report to this file instead of stdout")
+	only := flag.String("benchmarks", "", "comma-separated benchmark names to run (default: all)")
+	flag.Parse()
+
+	known := map[string]bool{}
+	for _, bm := range benchmarks {
+		known[bm.name] = true
+	}
+	selected := map[string]bool{}
+	for _, name := range strings.Split(*only, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			if !known[name] {
+				fmt.Fprintf(os.Stderr, "maficbench: unknown benchmark %q (known: table2, fig3a..fig7, ablation-*)\n", name)
+				os.Exit(2)
+			}
+			selected[name] = true
+		}
+	}
+
+	report := BenchReport{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+	for _, bm := range benchmarks {
+		if len(selected) > 0 && !selected[bm.name] {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "running %s...\n", bm.name)
+		r := testing.Benchmark(bm.fn)
+		report.Results = append(report.Results, BenchResult{
+			Name:        bm.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+	}
+
+	enc, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "encode report:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "write report:", err)
+		os.Exit(1)
+	}
+}

@@ -35,12 +35,13 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("maficfig", flag.ContinueOnError)
 	var (
-		figID  = fs.String("fig", "", "figure to regenerate (e.g. 3a, 4b, 7, ablation-baseline)")
-		all    = fs.Bool("all", false, "regenerate every figure")
-		quick  = fs.Bool("quick", false, "reduced sweeps for a fast pass")
-		asJSON = fs.Bool("json", false, "print JSON instead of text tables")
-		list   = fs.Bool("list", false, "list available figure ids and exit")
-		seed   = fs.Int64("seed", 1, "base random seed")
+		figID   = fs.String("fig", "", "figure to regenerate (e.g. 3a, 4b, 7, ablation-baseline)")
+		all     = fs.Bool("all", false, "regenerate every figure")
+		quick   = fs.Bool("quick", false, "reduced sweeps for a fast pass")
+		asJSON  = fs.Bool("json", false, "print JSON instead of text tables")
+		list    = fs.Bool("list", false, "list available figure ids and exit")
+		seed    = fs.Int64("seed", 1, "base random seed")
+		workers = fs.Int("workers", 0, "sweep points run concurrently (0 = all cores, 1 = serial; results are identical)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -63,7 +64,7 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("specify -fig <id> or -all (use -list to see ids)")
 	}
 
-	opts := experiment.SweepOptions{Quick: *quick, Seed: *seed}
+	opts := experiment.SweepOptions{Quick: *quick, Seed: *seed, Workers: *workers}
 	for _, id := range ids {
 		start := time.Now()
 		fig, err := experiment.Generate(id, opts)

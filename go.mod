@@ -1,0 +1,3 @@
+module mafic
+
+go 1.24

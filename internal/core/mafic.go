@@ -285,10 +285,13 @@ func (d *Defender) Handle(pkt *netsim.Packet, now sim.Time, at *netsim.Router) n
 	}
 	d.stats.Examined++
 
+	// Traffic sources stamp the label hash once per flow, so this is a
+	// plain field read on the hot path rather than a per-packet rehash.
+	labelHash := pkt.FlowHash()
+
 	// Illegal or unreachable source addresses go straight to the PDT:
 	// they belong to no legitimate application (Section III-A).
 	if !at.Network().IsRoutable(pkt.Label.SrcIP) {
-		labelHash := pkt.Label.Hash()
 		if _, state := d.tables.Lookup(labelHash); state != flowtable.StatePermanentDrop {
 			d.stats.FlowsIllegal++
 		}
@@ -299,7 +302,6 @@ func (d *Defender) Handle(pkt *netsim.Packet, now sim.Time, at *netsim.Router) n
 		return d.drop(pkt, DropIllegalSource, now)
 	}
 
-	labelHash := pkt.Label.Hash()
 	entry, state := d.tables.Lookup(labelHash)
 	switch state {
 	case flowtable.StatePermanentDrop:
@@ -412,14 +414,13 @@ func (d *Defender) sendDupAcks(label netsim.FlowLabel, proto netsim.Protocol, se
 	net := d.router.Network()
 	for i := 0; i < d.cfg.DupAcks; i++ {
 		d.probeSeqs++
-		probe := &netsim.Packet{
-			ID:    net.NextPacketID(),
-			Label: label.Reverse(),
-			Kind:  netsim.KindDupAck,
-			Proto: proto,
-			Seq:   seq,
-			Size:  d.cfg.ProbeSize,
-		}
+		probe := net.NewPacket()
+		probe.ID = net.NextPacketID()
+		probe.Label = label.Reverse()
+		probe.Kind = netsim.KindDupAck
+		probe.Proto = proto
+		probe.Seq = seq
+		probe.Size = d.cfg.ProbeSize
 		d.router.Inject(probe)
 		d.stats.ProbesSent++
 	}

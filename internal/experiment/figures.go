@@ -38,6 +38,10 @@ type SweepOptions struct {
 	Seed int64
 	// Base overrides the base scenario. Nil means DefaultScenario.
 	Base *Scenario
+	// Workers caps how many sweep points run concurrently. Zero means
+	// GOMAXPROCS, one forces serial execution. Results are identical
+	// either way; see RunMany.
+	Workers int
 }
 
 // base returns the scenario every sweep point starts from.
@@ -95,33 +99,64 @@ var attackRates = []struct {
 	{label: "R=1M", pps: 1e6},
 }
 
-// runPoint runs one sweep point and returns its result; errors propagate so
-// a broken configuration fails the whole figure loudly.
-func runPoint(s Scenario, seedOffset int64) (Result, error) {
-	s.Seed += seedOffset
-	return Run(s)
+// sweepJob is one sweep point waiting to run: a fully configured scenario
+// (seed offset already applied) plus the series index and x value its result
+// lands on.
+type sweepJob struct {
+	series   int
+	x        float64
+	scenario Scenario
+}
+
+// withSeedOffset shifts the scenario's seed, keeping sweep points independent
+// but reproducible.
+func withSeedOffset(s Scenario, offset int64) Scenario {
+	s.Seed += offset
+	return s
+}
+
+// runSweep executes every job — in parallel when the options allow — and
+// assembles the labelled series in deterministic order, extracting each
+// point's y value with pick.
+func runSweep(opts SweepOptions, labels []string, jobs []sweepJob, pick func(Result) float64) ([]Series, error) {
+	scenarios := make([]Scenario, len(jobs))
+	for i, j := range jobs {
+		scenarios[i] = j.scenario
+	}
+	results, err := runPoints(opts, scenarios)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Series, len(labels))
+	for i, label := range labels {
+		out[i] = Series{Label: label}
+	}
+	for i, j := range jobs {
+		out[j.series].Points = append(out[j.series].Points, Point{X: j.x, Y: pick(results[i])})
+	}
+	return out, nil
 }
 
 // sweepVolumesByPd produces one series per P_d over the traffic-volume sweep,
 // extracting the y value with pick.
 func sweepVolumesByPd(opts SweepOptions, pick func(Result) float64) ([]Series, error) {
-	var out []Series
-	for _, pd := range dropProbabilities {
-		series := Series{Label: fmt.Sprintf("Pd=%.0f%%", pd*100)}
+	var labels []string
+	var jobs []sweepJob
+	for pi, pd := range dropProbabilities {
+		labels = append(labels, fmt.Sprintf("Pd=%.0f%%", pd*100))
 		for i, vt := range opts.volumes() {
 			s := opts.base()
 			s.Name = fmt.Sprintf("pd%.0f-vt%d", pd*100, vt)
 			s.MAFIC.DropProbability = pd
 			s.Workload.TotalFlows = vt
-			res, err := runPoint(s, int64(i)+int64(pd*1000))
-			if err != nil {
-				return nil, err
-			}
-			series.Points = append(series.Points, Point{X: float64(vt), Y: pick(res)})
+			jobs = append(jobs, sweepJob{
+				series:   pi,
+				x:        float64(vt),
+				scenario: withSeedOffset(s, int64(i)+int64(pd*1000)),
+			})
 		}
-		out = append(out, series)
 	}
-	return out, nil
+	return runSweep(opts, labels, jobs, pick)
 }
 
 // Fig3a regenerates Figure 3(a): attack-packet dropping accuracy versus
@@ -143,21 +178,25 @@ func Fig3a(opts SweepOptions) (Figure, error) {
 // Fig3b regenerates Figure 3(b): dropping accuracy versus traffic volume for
 // source rates R ∈ {100k, 500k, 1M} packets/s.
 func Fig3b(opts SweepOptions) (Figure, error) {
-	var out []Series
+	var labels []string
+	var jobs []sweepJob
 	for ri, r := range attackRates {
-		series := Series{Label: r.label}
+		labels = append(labels, r.label)
 		for i, vt := range opts.volumes() {
 			s := opts.base()
 			s.Name = fmt.Sprintf("%s-vt%d", r.label, vt)
 			s.Workload.AttackRate = r.pps / RateScale
 			s.Workload.TotalFlows = vt
-			res, err := runPoint(s, int64(i)+int64(ri)*100)
-			if err != nil {
-				return Figure{}, err
-			}
-			series.Points = append(series.Points, Point{X: float64(vt), Y: res.Accuracy * 100})
+			jobs = append(jobs, sweepJob{
+				series:   ri,
+				x:        float64(vt),
+				scenario: withSeedOffset(s, int64(i)+int64(ri)*100),
+			})
 		}
-		out = append(out, series)
+	}
+	out, err := runSweep(opts, labels, jobs, func(r Result) float64 { return r.Accuracy * 100 })
+	if err != nil {
+		return Figure{}, err
 	}
 	return Figure{
 		ID:     "fig3b",
@@ -188,20 +227,25 @@ func Fig4a(opts SweepOptions) (Figure, error) {
 // for V_t ∈ {10, 30, 50} flows, showing the cutoff when MAFIC triggers and
 // the recovery of legitimate bandwidth afterwards.
 func Fig4b(opts SweepOptions) (Figure, error) {
-	var out []Series
-	for i, vt := range []int{10, 30, 50} {
+	volumes := []int{10, 30, 50}
+	scenarios := make([]Scenario, len(volumes))
+	for i, vt := range volumes {
 		s := opts.base()
 		s.Name = fmt.Sprintf("timeline-vt%d", vt)
 		s.Workload.TotalFlows = vt
 		// The paper plots seconds 1..3 with the attack already raging;
 		// keep the full timeline here.
-		res, err := runPoint(s, int64(i)*17)
-		if err != nil {
-			return Figure{}, err
-		}
+		scenarios[i] = withSeedOffset(s, int64(i)*17)
+	}
+	results, err := runPoints(opts, scenarios)
+	if err != nil {
+		return Figure{}, err
+	}
+	var out []Series
+	for i, vt := range volumes {
 		series := Series{Label: fmt.Sprintf("Vt=%d", vt)}
-		for _, bin := range res.Series {
-			rate := float64(bin.Total()) / s.BinWidth.Seconds()
+		for _, bin := range results[i].Series {
+			rate := float64(bin.Total()) / scenarios[i].BinWidth.Seconds()
 			series.Points = append(series.Points, Point{X: bin.Time.Seconds(), Y: rate})
 		}
 		out = append(out, series)
@@ -234,23 +278,23 @@ func Fig5a(opts SweepOptions) (Figure, error) {
 // sweepTCPShareByVolume produces one series per traffic volume over the Γ
 // sweep, extracting the y value with pick.
 func sweepTCPShareByVolume(opts SweepOptions, pick func(Result) float64) ([]Series, error) {
-	var out []Series
+	var labels []string
+	var jobs []sweepJob
 	for vi, vt := range []int{30, 70, 100} {
-		series := Series{Label: fmt.Sprintf("Vt=%d", vt)}
+		labels = append(labels, fmt.Sprintf("Vt=%d", vt))
 		for i, share := range opts.tcpShares() {
 			s := opts.base()
 			s.Name = fmt.Sprintf("vt%d-tcp%.0f", vt, share*100)
 			s.Workload.TotalFlows = vt
 			s.Workload.TCPShare = share
-			res, err := runPoint(s, int64(vi)*1000+int64(i))
-			if err != nil {
-				return nil, err
-			}
-			series.Points = append(series.Points, Point{X: share * 100, Y: pick(res)})
+			jobs = append(jobs, sweepJob{
+				series:   vi,
+				x:        share * 100,
+				scenario: withSeedOffset(s, int64(vi)*1000+int64(i)),
+			})
 		}
-		out = append(out, series)
 	}
-	return out, nil
+	return runSweep(opts, labels, jobs, pick)
 }
 
 // Fig5b regenerates Figure 5(b): false positive rate versus percentage of
@@ -272,23 +316,23 @@ func Fig5b(opts SweepOptions) (Figure, error) {
 // sweepDomainSizeByTCP produces one series per TCP share over the domain
 // size sweep, extracting the y value with pick.
 func sweepDomainSizeByTCP(opts SweepOptions, pick func(Result) float64) ([]Series, error) {
-	var out []Series
+	var labels []string
+	var jobs []sweepJob
 	for ti, share := range []float64{0.95, 0.75, 0.55, 0.35} {
-		series := Series{Label: fmt.Sprintf("TCP=%.0f%%", share*100)}
+		labels = append(labels, fmt.Sprintf("TCP=%.0f%%", share*100))
 		for i, n := range opts.domainSizes() {
 			s := opts.base()
 			s.Name = fmt.Sprintf("n%d-tcp%.0f", n, share*100)
 			s.Topology.NumRouters = n
 			s.Workload.TCPShare = share
-			res, err := runPoint(s, int64(ti)*1000+int64(i))
-			if err != nil {
-				return nil, err
-			}
-			series.Points = append(series.Points, Point{X: float64(n), Y: pick(res)})
+			jobs = append(jobs, sweepJob{
+				series:   ti,
+				x:        float64(n),
+				scenario: withSeedOffset(s, int64(ti)*1000+int64(i)),
+			})
 		}
-		out = append(out, series)
 	}
-	return out, nil
+	return runSweep(opts, labels, jobs, pick)
 }
 
 // Fig5c regenerates Figure 5(c): false positive rate versus domain size for
@@ -375,7 +419,8 @@ func Fig7(opts SweepOptions) (Figure, error) {
 // design point the paper argues against): collateral damage and traffic
 // reduction at the default operating point.
 func AblationBaseline(opts SweepOptions) (Figure, error) {
-	var out []Series
+	var labels []string
+	var jobs []sweepJob
 	configs := []struct {
 		label   string
 		defense DefenseKind
@@ -384,19 +429,22 @@ func AblationBaseline(opts SweepOptions) (Figure, error) {
 		{label: "Proportional", defense: DefenseBaseline},
 	}
 	for ci, cfg := range configs {
-		series := Series{Label: cfg.label}
+		labels = append(labels, cfg.label)
 		for i, vt := range opts.volumes() {
 			s := opts.base()
 			s.Name = fmt.Sprintf("ablation-%s-vt%d", cfg.label, vt)
 			s.Defense = cfg.defense
 			s.Workload.TotalFlows = vt
-			res, err := runPoint(s, int64(ci)*1000+int64(i))
-			if err != nil {
-				return Figure{}, err
-			}
-			series.Points = append(series.Points, Point{X: float64(vt), Y: res.LegitimateDropRate * 100})
+			jobs = append(jobs, sweepJob{
+				series:   ci,
+				x:        float64(vt),
+				scenario: withSeedOffset(s, int64(ci)*1000+int64(i)),
+			})
 		}
-		out = append(out, series)
+	}
+	out, err := runSweep(opts, labels, jobs, func(r Result) float64 { return r.LegitimateDropRate * 100 })
+	if err != nil {
+		return Figure{}, err
 	}
 	return Figure{
 		ID:     "ablation-baseline",
@@ -411,21 +459,25 @@ func AblationBaseline(opts SweepOptions) (Figure, error) {
 // the accuracy / collateral-damage trade-off behind the paper's 2×RTT
 // choice.
 func AblationProbeWindow(opts SweepOptions) (Figure, error) {
-	var out []Series
+	var labels []string
+	var jobs []sweepJob
 	for wi, windows := range []float64{1, 2, 4} {
-		series := Series{Label: fmt.Sprintf("%vxRTT", windows)}
+		labels = append(labels, fmt.Sprintf("%vxRTT", windows))
 		for i, vt := range opts.volumes() {
 			s := opts.base()
 			s.Name = fmt.Sprintf("window%v-vt%d", windows, vt)
 			s.MAFIC.ProbeWindowRTTs = windows
 			s.Workload.TotalFlows = vt
-			res, err := runPoint(s, int64(wi)*1000+int64(i))
-			if err != nil {
-				return Figure{}, err
-			}
-			series.Points = append(series.Points, Point{X: float64(vt), Y: res.LegitimateDropRate * 100})
+			jobs = append(jobs, sweepJob{
+				series:   wi,
+				x:        float64(vt),
+				scenario: withSeedOffset(s, int64(wi)*1000+int64(i)),
+			})
 		}
-		out = append(out, series)
+	}
+	out, err := runSweep(opts, labels, jobs, func(r Result) float64 { return r.LegitimateDropRate * 100 })
+	if err != nil {
+		return Figure{}, err
 	}
 	return Figure{
 		ID:     "ablation-probe-window",
@@ -442,7 +494,8 @@ func AblationProbeWindow(opts SweepOptions) (Figure, error) {
 // pulsing attackers deliberately mimic a responsive source by going silent,
 // which inflates the false-negative rate of any probe-and-watch scheme.
 func AblationPulsingAttack(opts SweepOptions) (Figure, error) {
-	var out []Series
+	var labels []string
+	var jobs []sweepJob
 	modes := []struct {
 		label  string
 		period sim.Time
@@ -453,20 +506,23 @@ func AblationPulsingAttack(opts SweepOptions) (Figure, error) {
 		{label: "pulsing 50% duty", period: sim.Second, duty: 0.5},
 	}
 	for mi, mode := range modes {
-		series := Series{Label: mode.label}
+		labels = append(labels, mode.label)
 		for i, vt := range opts.volumes() {
 			s := opts.base()
 			s.Name = fmt.Sprintf("pulsing-%d-vt%d", mi, vt)
 			s.Workload.TotalFlows = vt
 			s.Workload.AttackPulsePeriod = mode.period
 			s.Workload.AttackDutyCycle = mode.duty
-			res, err := runPoint(s, int64(mi)*1000+int64(i))
-			if err != nil {
-				return Figure{}, err
-			}
-			series.Points = append(series.Points, Point{X: float64(vt), Y: res.FalseNegativeRate * 100})
+			jobs = append(jobs, sweepJob{
+				series:   mi,
+				x:        float64(vt),
+				scenario: withSeedOffset(s, int64(mi)*1000+int64(i)),
+			})
 		}
-		out = append(out, series)
+	}
+	out, err := runSweep(opts, labels, jobs, func(r Result) float64 { return r.FalseNegativeRate * 100 })
+	if err != nil {
+		return Figure{}, err
 	}
 	return Figure{
 		ID:     "ablation-pulsing",

@@ -79,22 +79,23 @@ func (h *Host) Unregister(label FlowLabel) {
 // matches (the victim server uses this to accept every incoming flow).
 func (h *Host) SetDefaultHandler(fn PacketHandler) { h.defaultHandler = fn }
 
-// Deliver accepts a packet addressed to this host.
+// Deliver accepts a packet addressed to this host. Delivery is the packet's
+// terminal point: once the handler returns, the packet is recycled, so
+// handlers must not retain it.
 func (h *Host) Deliver(pkt *Packet, _ NodeID) {
 	now := h.net.Now()
 	h.received++
 	h.net.noteDeliver(pkt, h, now)
 	if fn, ok := h.handlers[pkt.Label]; ok {
 		fn(pkt, now)
-		return
-	}
-	if h.defaultHandler != nil {
+	} else if h.defaultHandler != nil {
 		h.defaultHandler(pkt, now)
 	}
+	h.net.FreePacket(pkt)
 }
 
 // Send emits a packet from this host toward its destination via the host's
-// access link.
+// access link. Ownership of the packet transfers to the network.
 func (h *Host) Send(pkt *Packet) { h.send(pkt) }
 
 func (h *Host) send(pkt *Packet) {
@@ -102,7 +103,7 @@ func (h *Host) send(pkt *Packet) {
 	pkt.SentAt = int64(h.net.Now())
 	link := h.net.LinkBetween(h.id, h.accessRouter)
 	if link == nil {
-		h.net.noteUnroutable(pkt, h.id)
+		h.net.dropUnroutable(pkt, h.id)
 		return
 	}
 	link.Send(pkt)

@@ -69,13 +69,15 @@ func (l *Link) transmissionTime(sizeBytes int) sim.Time {
 }
 
 // Send enqueues a packet for transmission toward the link's downstream node.
-// Packets beyond the queue limit are dropped and reported through the
-// network's OnQueueDrop hook.
+// Packets beyond the queue limit are dropped, reported through the network's
+// OnQueueDrop hook, and recycled. Ownership of the packet transfers to the
+// link.
 func (l *Link) Send(pkt *Packet) {
 	now := l.net.Now()
 	if l.queued >= l.cfg.QueueLen {
 		l.dropped++
 		l.net.noteQueueDrop(pkt, l, now)
+		l.net.FreePacket(pkt)
 		return
 	}
 	l.queued++
@@ -91,10 +93,22 @@ func (l *Link) Send(pkt *Packet) {
 	txDone := l.nextFree
 	arrive := txDone + l.cfg.Delay
 
-	l.net.scheduler.ScheduleAt(txDone, func(sim.Time) { l.queued-- })
-	l.net.scheduler.ScheduleAt(arrive, func(sim.Time) {
-		l.net.deliverTo(l.to, pkt, l.from)
-	})
+	// Both events dispatch through the link itself (sim.EventHandler /
+	// sim.ArgHandler), so the per-packet forwarding path schedules without
+	// allocating closures.
+	l.net.scheduler.ScheduleHandlerAt(txDone, l)
+	l.net.scheduler.ScheduleArgAt(arrive, l, pkt)
+}
+
+// OnEvent implements sim.EventHandler: the transmitter finished serialising
+// one packet, freeing a queue slot.
+func (l *Link) OnEvent(sim.Time) { l.queued-- }
+
+// OnEventArg implements sim.ArgHandler: the packet carried as arg has
+// propagated to the downstream node.
+func (l *Link) OnEventArg(_ sim.Time, arg any) {
+	pkt := arg.(*Packet)
+	l.net.deliverTo(l.to, pkt, l.from)
 }
 
 // String renders the link endpoints for diagnostics.

@@ -19,7 +19,8 @@ var (
 
 // Hooks collects optional callbacks that observation components (metrics,
 // tests) register on a network. Nil members are simply skipped, so hot paths
-// pay nothing for unused hooks.
+// pay nothing for unused hooks. Hook callbacks must not retain the *Packet
+// they receive: pooled packets are recycled as soon as the hook returns.
 type Hooks struct {
 	// OnQueueDrop fires when a drop-tail queue rejects a packet.
 	OnQueueDrop func(pkt *Packet, link *Link, now sim.Time)
@@ -35,6 +36,13 @@ type Hooks struct {
 	OnUnroutable func(pkt *Packet, at NodeID, now sim.Time)
 }
 
+// nodeSlot is the dense per-NodeID dispatch record: exactly one of router or
+// host is non-nil for an allocated ID.
+type nodeSlot struct {
+	router *Router
+	host   *Host
+}
+
 // Network owns every simulated node and link and bridges them to the
 // discrete-event scheduler.
 type Network struct {
@@ -43,11 +51,20 @@ type Network struct {
 
 	routers map[NodeID]*Router
 	hosts   map[NodeID]*Host
-	links   map[NodeID]map[NodeID]*Link
+	// nodes is the dense NodeID-indexed dispatch table used on the
+	// forwarding path instead of the registry maps above.
+	nodes []nodeSlot
+	// adj[from][to] is the simplex link from->to, or nil. Rows are dense
+	// NodeID-indexed slices grown on demand; a short or nil row means no
+	// outgoing links from that node yet.
+	adj     [][]*Link
 	ipOwner map[IP]NodeID
 
 	nextNodeID NodeID
 	nextPktID  uint64
+
+	// pktFree is the packet free list; see NewPacket / FreePacket.
+	pktFree []*Packet
 
 	hooks Hooks
 }
@@ -59,7 +76,6 @@ func New(scheduler *sim.Scheduler, rng *sim.RNG) *Network {
 		rng:       rng,
 		routers:   make(map[NodeID]*Router),
 		hosts:     make(map[NodeID]*Host),
-		links:     make(map[NodeID]map[NodeID]*Link),
 		ipOwner:   make(map[IP]NodeID),
 	}
 }
@@ -83,10 +99,44 @@ func (n *Network) NextPacketID() uint64 {
 	return n.nextPktID
 }
 
+// NewPacket returns a zeroed packet from the network's pool, allocating only
+// when the free list is empty. The packet is owned by the caller until it is
+// handed to the network (Send, Deliver, Inject); the network recycles it at
+// its terminal point. See the package documentation for the ownership rules.
+func (n *Network) NewPacket() *Packet {
+	if last := len(n.pktFree) - 1; last >= 0 {
+		p := n.pktFree[last]
+		n.pktFree[last] = nil
+		n.pktFree = n.pktFree[:last]
+		*p = Packet{pooled: true}
+		return p
+	}
+	return &Packet{pooled: true}
+}
+
+// FreePacket returns a pooled packet to the free list. Packets not obtained
+// from NewPacket are ignored, so externally constructed packets may flow
+// through the network safely. Releasing the same pooled packet twice is a
+// programming error; it panics when the packet still sits in the free list.
+// The check is best-effort: a stale release that lands after the slot has
+// been reissued by NewPacket is indistinguishable from a legitimate one,
+// which is why holders must drop their reference at the terminal point.
+func (n *Network) FreePacket(p *Packet) {
+	if p == nil || !p.pooled {
+		return
+	}
+	if p.freed {
+		panic(fmt.Sprintf("netsim: double release of packet %d (%s)", p.ID, p.Label))
+	}
+	p.freed = true
+	n.pktFree = append(n.pktFree, p)
+}
+
 // allocateNodeID hands out the next node identifier.
 func (n *Network) allocateNodeID() NodeID {
 	id := n.nextNodeID
 	n.nextNodeID++
+	n.nodes = append(n.nodes, nodeSlot{})
 	return id
 }
 
@@ -99,6 +149,7 @@ func (n *Network) AddRouter(name string) *Router {
 		routes: make(map[NodeID]NodeID),
 	}
 	n.routers[r.id] = r
+	n.nodes[r.id].router = r
 	return r
 }
 
@@ -112,6 +163,7 @@ func (n *Network) AddHost(name string, ips ...IP) *Host {
 		handlers: make(map[FlowLabel]PacketHandler),
 	}
 	n.hosts[h.id] = h
+	n.nodes[h.id].host = h
 	for _, ip := range ips {
 		n.ipOwner[ip] = h.id
 	}
@@ -167,14 +219,19 @@ func (n *Network) Connect(from, to NodeID, cfg LinkConfig) (*Link, error) {
 	if cfg.QueueLen <= 0 {
 		cfg.QueueLen = DefaultQueueLen
 	}
-	if _, exists := n.links[from][to]; exists {
+	if n.LinkBetween(from, to) != nil {
 		return nil, fmt.Errorf("connect %d->%d: %w", from, to, ErrDuplicateLink)
 	}
 	l := &Link{net: n, from: from, to: to, cfg: cfg}
-	if n.links[from] == nil {
-		n.links[from] = make(map[NodeID]*Link)
+	for int(from) >= len(n.adj) {
+		n.adj = append(n.adj, nil)
 	}
-	n.links[from][to] = l
+	row := n.adj[from]
+	for int(to) >= len(row) {
+		row = append(row, nil)
+	}
+	row[to] = l
+	n.adj[from] = row
 	return l, nil
 }
 
@@ -190,55 +247,77 @@ func (n *Network) ConnectDuplex(a, b NodeID, cfg LinkConfig) error {
 	return nil
 }
 
-// LinkBetween returns the simplex link from a to b, or nil.
+// LinkBetween returns the simplex link from a to b, or nil. The lookup is a
+// pair of bounds-checked slice indexes: this sits on the per-hop forwarding
+// path.
 func (n *Network) LinkBetween(a, b NodeID) *Link {
-	return n.links[a][b]
+	if a < 0 || int(a) >= len(n.adj) {
+		return nil
+	}
+	row := n.adj[a]
+	if b < 0 || int(b) >= len(row) {
+		return nil
+	}
+	return row[b]
 }
 
 // Neighbors returns the node IDs reachable over one outgoing link from id,
-// in unspecified order.
+// in ascending order.
 func (n *Network) Neighbors(id NodeID) []NodeID {
-	out := make([]NodeID, 0, len(n.links[id]))
-	for to := range n.links[id] {
-		out = append(out, to)
+	if id < 0 || int(id) >= len(n.adj) {
+		return nil
+	}
+	row := n.adj[id]
+	out := make([]NodeID, 0, len(row))
+	for to, l := range row {
+		if l != nil {
+			out = append(out, NodeID(to))
+		}
 	}
 	return out
 }
 
 func (n *Network) nodeExists(id NodeID) bool {
-	if _, ok := n.routers[id]; ok {
-		return true
+	if id < 0 || int(id) >= len(n.nodes) {
+		return false
 	}
-	_, ok := n.hosts[id]
-	return ok
+	slot := n.nodes[id]
+	return slot.router != nil || slot.host != nil
 }
 
 // deliverTo hands a packet arriving over a link to its destination node.
 func (n *Network) deliverTo(id NodeID, pkt *Packet, from NodeID) {
-	if r, ok := n.routers[id]; ok {
-		r.Deliver(pkt, from)
-		return
+	if id >= 0 && int(id) < len(n.nodes) {
+		slot := n.nodes[id]
+		if slot.router != nil {
+			slot.router.Deliver(pkt, from)
+			return
+		}
+		if slot.host != nil {
+			slot.host.Deliver(pkt, from)
+			return
+		}
 	}
-	if h, ok := n.hosts[id]; ok {
-		h.Deliver(pkt, from)
-		return
-	}
-	n.noteUnroutable(pkt, from)
+	n.dropUnroutable(pkt, from)
 }
 
 // SendFrom launches a packet from the given node: hosts hand it to their
 // access router, routers route it directly. It is the entry point traffic
-// sources and probe injectors use.
+// sources and probe injectors use. Ownership of the packet transfers to the
+// network.
 func (n *Network) SendFrom(origin NodeID, pkt *Packet) {
-	if r, ok := n.routers[origin]; ok {
-		r.forward(pkt, origin)
-		return
+	if origin >= 0 && int(origin) < len(n.nodes) {
+		slot := n.nodes[origin]
+		if slot.router != nil {
+			slot.router.forward(pkt, origin)
+			return
+		}
+		if slot.host != nil {
+			slot.host.send(pkt)
+			return
+		}
 	}
-	if h, ok := n.hosts[origin]; ok {
-		h.send(pkt)
-		return
-	}
-	n.noteUnroutable(pkt, origin)
+	n.dropUnroutable(pkt, origin)
 }
 
 func (n *Network) noteQueueDrop(pkt *Packet, l *Link, now sim.Time) {
@@ -259,8 +338,11 @@ func (n *Network) noteDeliver(pkt *Packet, h *Host, now sim.Time) {
 	}
 }
 
-func (n *Network) noteUnroutable(pkt *Packet, at NodeID) {
+// dropUnroutable reports an unroutable packet and recycles it: it has
+// reached a terminal point.
+func (n *Network) dropUnroutable(pkt *Packet, at NodeID) {
 	if n.hooks.OnUnroutable != nil {
 		n.hooks.OnUnroutable(pkt, at, n.Now())
 	}
+	n.FreePacket(pkt)
 }

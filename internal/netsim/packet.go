@@ -2,11 +2,23 @@
 // evaluation runs on: addresses, packets, simplex links with drop-tail
 // queues, routers with attachable per-packet filters (the role NS-2
 // Connectors play in the original paper), and end hosts.
+//
+// # Packet ownership and pooling
+//
+// Packets obtained from Network.NewPacket are pooled: the network recycles
+// them once they reach a terminal point — delivery to a host, a queue or
+// filter drop, or an unroutable destination. Ownership transfers to the
+// network the moment a packet is handed to Host.Send, Network.SendFrom,
+// Router.Inject, Link.Send or a Deliver method; after that the producer must
+// not touch it again. Observation hooks (Hooks, Filter.Handle, PacketHandler)
+// may read a packet only for the duration of the callback and must not retain
+// the pointer — the slot is reused for a future packet as soon as the
+// callback returns. Packets built directly with &Packet{} are never pooled
+// and remain valid indefinitely; releasing one is a no-op.
 package netsim
 
 import (
 	"fmt"
-	"hash/fnv"
 	"strconv"
 )
 
@@ -31,26 +43,32 @@ type FlowLabel struct {
 	DstPort uint16
 }
 
+// FNV-1a parameters (matching hash/fnv's 64-bit variant).
+const (
+	fnvOffset64 = 0xcbf29ce484222325
+	fnvPrime64  = 0x100000001b3
+)
+
 // Hash returns a 64-bit FNV-1a hash of the label. Flow tables store only this
 // hash rather than the label itself to bound their storage overhead, exactly
-// as described in the paper.
+// as described in the paper. The loop is inlined byte-for-byte compatible
+// with hash/fnv over the label's 12-byte big-endian encoding, but performs no
+// allocation.
 func (l FlowLabel) Hash() uint64 {
-	h := fnv.New64a()
-	var buf [12]byte
-	buf[0] = byte(l.SrcIP >> 24)
-	buf[1] = byte(l.SrcIP >> 16)
-	buf[2] = byte(l.SrcIP >> 8)
-	buf[3] = byte(l.SrcIP)
-	buf[4] = byte(l.DstIP >> 24)
-	buf[5] = byte(l.DstIP >> 16)
-	buf[6] = byte(l.DstIP >> 8)
-	buf[7] = byte(l.DstIP)
-	buf[8] = byte(l.SrcPort >> 8)
-	buf[9] = byte(l.SrcPort)
-	buf[10] = byte(l.DstPort >> 8)
-	buf[11] = byte(l.DstPort)
-	_, _ = h.Write(buf[:])
-	return h.Sum64()
+	h := uint64(fnvOffset64)
+	h = (h ^ uint64(l.SrcIP>>24&0xff)) * fnvPrime64
+	h = (h ^ uint64(l.SrcIP>>16&0xff)) * fnvPrime64
+	h = (h ^ uint64(l.SrcIP>>8&0xff)) * fnvPrime64
+	h = (h ^ uint64(l.SrcIP&0xff)) * fnvPrime64
+	h = (h ^ uint64(l.DstIP>>24&0xff)) * fnvPrime64
+	h = (h ^ uint64(l.DstIP>>16&0xff)) * fnvPrime64
+	h = (h ^ uint64(l.DstIP>>8&0xff)) * fnvPrime64
+	h = (h ^ uint64(l.DstIP&0xff)) * fnvPrime64
+	h = (h ^ uint64(l.SrcPort>>8)) * fnvPrime64
+	h = (h ^ uint64(l.SrcPort&0xff)) * fnvPrime64
+	h = (h ^ uint64(l.DstPort>>8)) * fnvPrime64
+	h = (h ^ uint64(l.DstPort&0xff)) * fnvPrime64
+	return h
 }
 
 // Reverse returns the label of the reverse direction of the conversation,
@@ -149,6 +167,51 @@ type Packet struct {
 	FlowID int
 	// Malicious is the ground-truth attack marker used only by metrics.
 	Malicious bool
+
+	// flowHash caches Label.Hash(); hashOK marks it valid. Traffic sources
+	// stamp the hash once per flow via SetFlowHash so the per-packet
+	// classification path never rehashes.
+	flowHash uint64
+	hashOK   bool
+	// dstNode caches the owner of Label.DstIP so multi-hop forwarding
+	// resolves the destination once per packet rather than once per hop.
+	dstNode   NodeID
+	dstNodeOK bool
+	// pooled marks packets obtained from a network's pool; freed flags a
+	// pooled packet currently sitting in the free list (double-release
+	// detection).
+	pooled bool
+	freed  bool
+}
+
+// FlowHash returns Label.Hash(), computing it at most once per packet.
+// Sources that know the flow label ahead of time should stamp the hash with
+// SetFlowHash instead, making this a plain field read.
+func (p *Packet) FlowHash() uint64 {
+	if !p.hashOK {
+		p.flowHash = p.Label.Hash()
+		p.hashOK = true
+	}
+	return p.flowHash
+}
+
+// SetFlowHash stores a precomputed Label.Hash() value, sparing every
+// downstream consumer the recomputation. The caller is responsible for the
+// hash actually matching the label.
+func (p *Packet) SetFlowHash(h uint64) {
+	p.flowHash = h
+	p.hashOK = true
+}
+
+// DestOwner resolves the node owning the packet's destination address,
+// caching the answer on the packet so multi-hop forwarding and per-router
+// measurement resolve it once per packet instead of once per hop.
+func (p *Packet) DestOwner(n *Network) NodeID {
+	if !p.dstNodeOK {
+		p.dstNode = n.Owner(p.Label.DstIP)
+		p.dstNodeOK = true
+	}
+	return p.dstNode
 }
 
 // NodeID identifies a node (router or host) in the simulated domain.

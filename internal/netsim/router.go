@@ -109,13 +109,15 @@ func (r *Router) Inject(pkt *Packet) {
 	r.route(pkt)
 }
 
-// forward runs the filter chain and then routes the packet.
+// forward runs the filter chain and then routes the packet. A filter drop is
+// a terminal point: the packet is reported and recycled.
 func (r *Router) forward(pkt *Packet, _ NodeID) {
 	now := r.net.Now()
 	for _, f := range r.filters {
 		if f.Handle(pkt, now, r) == ActionDrop {
 			r.dropped++
 			r.net.noteFilterDrop(pkt, r, f.Name(), now)
+			r.net.FreePacket(pkt)
 			return
 		}
 	}
@@ -126,28 +128,26 @@ func (r *Router) forward(pkt *Packet, _ NodeID) {
 
 // route picks the outgoing link for the packet's destination and transmits.
 func (r *Router) route(pkt *Packet) {
-	destNode := r.net.Owner(pkt.Label.DstIP)
-	if destNode == NoNode {
-		r.net.noteUnroutable(pkt, r.id)
-		return
-	}
-	if destNode == r.id {
+	// Resolve the destination owner once per packet; later hops reuse the
+	// cached node instead of repeating the address lookup.
+	destNode := pkt.DestOwner(r.net)
+	if destNode == NoNode || destNode == r.id {
 		// Routers never terminate data traffic in this model.
-		r.net.noteUnroutable(pkt, r.id)
+		r.net.dropUnroutable(pkt, r.id)
 		return
 	}
-	next := destNode
-	if link := r.net.LinkBetween(r.id, destNode); link == nil {
-		next = r.Route(destNode)
+	link := r.net.LinkBetween(r.id, destNode)
+	if link == nil {
+		next := r.Route(destNode)
 		if next == NoNode {
-			r.net.noteUnroutable(pkt, r.id)
+			r.net.dropUnroutable(pkt, r.id)
 			return
 		}
-	}
-	link := r.net.LinkBetween(r.id, next)
-	if link == nil {
-		r.net.noteUnroutable(pkt, r.id)
-		return
+		link = r.net.LinkBetween(r.id, next)
+		if link == nil {
+			r.net.dropUnroutable(pkt, r.id)
+			return
+		}
 	}
 	link.Send(pkt)
 }

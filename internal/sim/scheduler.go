@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 )
 
@@ -14,77 +13,103 @@ var ErrStopped = errors.New("sim: scheduler stopped")
 // just to read the clock.
 type Handler func(now Time)
 
-// event is a single queued callback.
+// EventHandler is the allocation-free alternative to Handler: a component
+// implements OnEvent once and schedules itself via ScheduleHandlerAt, so the
+// hot path never materialises a closure per event.
+type EventHandler interface {
+	OnEvent(now Time)
+}
+
+// ArgHandler is the allocation-free variant for events that need to carry a
+// payload (for example a link delivering a specific packet). Storing a
+// pointer-shaped payload in the event's arg slot does not allocate.
+type ArgHandler interface {
+	OnEventArg(now Time, arg any)
+}
+
+// event slot states.
+const (
+	eventFree uint8 = iota
+	eventQueued
+	eventStopped
+)
+
+// event is one slot of the scheduler's pooled event arena. Slots are recycled
+// through a free list; gen increments on every release so that stale
+// EventRefs can never cancel or observe a slot's next occupant.
 type event struct {
-	at      Time
-	seq     uint64 // tie-breaker: FIFO among events scheduled for the same instant
-	fn      Handler
-	stopped bool
-	index   int
+	at  Time
+	seq uint64 // tie-breaker: FIFO among events scheduled for the same instant
+
+	// Exactly one of fn / ah / h is set; fn wins, then ah, then h.
+	fn  Handler
+	ah  ArgHandler
+	arg any
+	h   EventHandler
+
+	gen      uint32
+	state    uint8
+	nextFree int32 // next slot in the free list when state == eventFree
 }
 
 // EventRef identifies a scheduled event so it can be cancelled. The zero
-// value is inert: cancelling it is a no-op.
+// value is inert: cancelling it is a no-op. A ref to an event that already
+// fired (or whose slot has been recycled) is detected via the slot's
+// generation counter and ignored.
 type EventRef struct {
-	ev *event
+	s   *Scheduler
+	idx int32
+	gen uint32
 }
 
 // Cancel prevents the referenced event from firing. Cancelling an event that
-// already fired, or a zero EventRef, is safe and does nothing.
+// already fired, a recycled slot, or a zero EventRef is safe and does nothing.
 func (r EventRef) Cancel() {
-	if r.ev != nil {
-		r.ev.stopped = true
+	if r.s == nil {
+		return
 	}
+	ev := &r.s.events[r.idx]
+	if ev.gen != r.gen || ev.state != eventQueued {
+		return
+	}
+	ev.state = eventStopped
 }
 
 // Pending reports whether the referenced event is still queued and will fire.
 func (r EventRef) Pending() bool {
-	return r.ev != nil && !r.ev.stopped && r.ev.index >= 0
-}
-
-// eventQueue is a min-heap ordered by (time, sequence number).
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+	if r.s == nil {
+		return false
 	}
-	return q[i].seq < q[j].seq
+	ev := &r.s.events[r.idx]
+	return ev.gen == r.gen && ev.state == eventQueued
 }
 
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
+// heapEnt is one entry of the scheduler's 4-ary min-heap. The sort key
+// (at, seq) is stored inline so comparisons never chase into the event arena.
+type heapEnt struct {
+	at  Time
+	seq uint64
+	idx int32
 }
 
-func (q *eventQueue) Push(x any) {
-	ev, ok := x.(*event)
-	if !ok {
-		return
-	}
-	ev.index = len(*q)
-	*q = append(*q, ev)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*q = old[:n-1]
-	return ev
+// entLess orders heap entries by (time, sequence number).
+func entLess(a, b heapEnt) bool {
+	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
 }
 
 // Scheduler is a single-threaded discrete-event scheduler. It is not safe
 // for concurrent use; the simulation model is single-threaded by design,
 // which keeps runs deterministic.
+//
+// Events live in a pooled arena and are recycled through a free list, so a
+// steady-state simulation schedules and fires events without allocating.
 type Scheduler struct {
-	now     Time
-	queue   eventQueue
+	now Time
+
+	events   []event
+	freeHead int32
+	heap     []heapEnt
+
 	seq     uint64
 	stopped bool
 
@@ -94,7 +119,7 @@ type Scheduler struct {
 
 // NewScheduler returns a scheduler with its clock at zero and an empty queue.
 func NewScheduler() *Scheduler {
-	return &Scheduler{}
+	return &Scheduler{freeHead: -1}
 }
 
 // Now reports the current virtual time.
@@ -102,10 +127,49 @@ func (s *Scheduler) Now() Time { return s.now }
 
 // Len reports the number of pending events (including cancelled ones that
 // have not yet been discarded).
-func (s *Scheduler) Len() int { return len(s.queue) }
+func (s *Scheduler) Len() int { return len(s.heap) }
 
 // Processed reports how many events have fired so far.
 func (s *Scheduler) Processed() uint64 { return s.processed }
+
+// alloc pops a slot off the free list, growing the arena when it is empty.
+func (s *Scheduler) alloc() int32 {
+	if s.freeHead >= 0 {
+		idx := s.freeHead
+		s.freeHead = s.events[idx].nextFree
+		return idx
+	}
+	s.events = append(s.events, event{})
+	return int32(len(s.events) - 1)
+}
+
+// release recycles a slot. The generation bump invalidates every outstanding
+// EventRef to the old occupant; clearing the handler fields drops any closure
+// or payload reference so the arena does not pin garbage.
+func (s *Scheduler) release(idx int32) {
+	ev := &s.events[idx]
+	ev.gen++
+	ev.state = eventFree
+	ev.fn, ev.ah, ev.arg, ev.h = nil, nil, nil, nil
+	ev.nextFree = s.freeHead
+	s.freeHead = idx
+}
+
+// schedule inserts one event with the given dispatch target.
+func (s *Scheduler) schedule(at Time, fn Handler, ah ArgHandler, arg any, h EventHandler) EventRef {
+	if at < s.now {
+		at = s.now
+	}
+	idx := s.alloc()
+	ev := &s.events[idx]
+	ev.at = at
+	ev.seq = s.seq
+	ev.fn, ev.ah, ev.arg, ev.h = fn, ah, arg, h
+	ev.state = eventQueued
+	s.heapPush(heapEnt{at: at, seq: s.seq, idx: idx})
+	s.seq++
+	return EventRef{s: s, idx: idx, gen: ev.gen}
+}
 
 // ScheduleAt queues fn to run at the absolute virtual time at. Events
 // scheduled in the past run at the current time instead; the clock never
@@ -114,13 +178,7 @@ func (s *Scheduler) ScheduleAt(at Time, fn Handler) EventRef {
 	if fn == nil {
 		return EventRef{}
 	}
-	if at < s.now {
-		at = s.now
-	}
-	ev := &event{at: at, seq: s.seq, fn: fn}
-	s.seq++
-	heap.Push(&s.queue, ev)
-	return EventRef{ev: ev}
+	return s.schedule(at, fn, nil, nil, nil)
 }
 
 // ScheduleAfter queues fn to run delay after the current virtual time.
@@ -131,22 +189,120 @@ func (s *Scheduler) ScheduleAfter(delay Time, fn Handler) EventRef {
 	return s.ScheduleAt(s.now+delay, fn)
 }
 
+// ScheduleHandlerAt queues h.OnEvent to run at the absolute virtual time at
+// without allocating a closure.
+func (s *Scheduler) ScheduleHandlerAt(at Time, h EventHandler) EventRef {
+	if h == nil {
+		return EventRef{}
+	}
+	return s.schedule(at, nil, nil, nil, h)
+}
+
+// ScheduleHandlerAfter queues h.OnEvent to run delay after the current
+// virtual time.
+func (s *Scheduler) ScheduleHandlerAfter(delay Time, h EventHandler) EventRef {
+	if delay < 0 {
+		delay = 0
+	}
+	return s.ScheduleHandlerAt(s.now+delay, h)
+}
+
+// ScheduleArgAt queues h.OnEventArg(now, arg) to run at the absolute virtual
+// time at. Passing a pointer as arg does not allocate, so hot callers can
+// attach a payload to the event for free.
+func (s *Scheduler) ScheduleArgAt(at Time, h ArgHandler, arg any) EventRef {
+	if h == nil {
+		return EventRef{}
+	}
+	return s.schedule(at, nil, h, arg, nil)
+}
+
+// ScheduleArgAfter queues h.OnEventArg(now, arg) to run delay after the
+// current virtual time.
+func (s *Scheduler) ScheduleArgAfter(delay Time, h ArgHandler, arg any) EventRef {
+	if delay < 0 {
+		delay = 0
+	}
+	return s.ScheduleArgAt(s.now+delay, h, arg)
+}
+
+// heapPush inserts an entry into the 4-ary min-heap.
+func (s *Scheduler) heapPush(e heapEnt) {
+	h := append(s.heap, e)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !entLess(h[i], h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	s.heap = h
+}
+
+// heapPop removes the minimum entry (the caller reads s.heap[0] first).
+func (s *Scheduler) heapPop() {
+	h := s.heap
+	n := len(h) - 1
+	h[0] = h[n]
+	s.heap = h[:n]
+	if n == 0 {
+		return
+	}
+	h = h[:n]
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if entLess(h[c], h[min]) {
+				min = c
+			}
+		}
+		if !entLess(h[min], h[i]) {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+}
+
 // Stop halts the run loop after the currently executing event returns.
 func (s *Scheduler) Stop() { s.stopped = true }
 
 // step pops and runs the next event. It reports false when the queue is empty.
 func (s *Scheduler) step() bool {
-	for len(s.queue) > 0 {
-		next, ok := heap.Pop(&s.queue).(*event)
-		if !ok {
-			return false
-		}
-		if next.stopped {
+	for len(s.heap) > 0 {
+		top := s.heap[0]
+		s.heapPop()
+		ev := &s.events[top.idx]
+		if ev.state != eventQueued {
+			// Cancelled while queued: recycle the slot and keep going.
+			s.release(top.idx)
 			continue
 		}
-		s.now = next.at
+		// Copy the dispatch target before releasing: the handler may
+		// schedule new events, reusing (or growing) the arena.
+		fn, ah, arg, h := ev.fn, ev.ah, ev.arg, ev.h
+		s.release(top.idx)
+		s.now = top.at
 		s.processed++
-		next.fn(s.now)
+		switch {
+		case fn != nil:
+			fn(s.now)
+		case ah != nil:
+			ah.OnEventArg(s.now, arg)
+		default:
+			h.OnEvent(s.now)
+		}
 		return true
 	}
 	return false
@@ -170,10 +326,10 @@ func (s *Scheduler) Run() error {
 func (s *Scheduler) RunUntil(deadline Time) error {
 	s.stopped = false
 	for !s.stopped {
-		if len(s.queue) == 0 {
+		if len(s.heap) == 0 {
 			break
 		}
-		if s.queue[0].at > deadline {
+		if s.heap[0].at > deadline {
 			break
 		}
 		if !s.step() {

@@ -27,6 +27,7 @@ type CBRSource struct {
 	net       *netsim.Network
 	rng       *sim.RNG
 	label     netsim.FlowLabel
+	labelHash uint64
 	malicious bool
 	proto     netsim.Protocol
 
@@ -63,6 +64,7 @@ func newCBR(id int, cfg CBRConfig, host *netsim.Host, rng *sim.RNG, label netsim
 		net:       host.Network(),
 		rng:       rng,
 		label:     label,
+		labelHash: label.Hash(),
 		malicious: malicious,
 		proto:     proto,
 	}
@@ -89,7 +91,7 @@ func (s *CBRSource) Start(at sim.Time) {
 		return
 	}
 	s.running = true
-	s.sendEvent = s.net.Scheduler().ScheduleAt(at, s.sendNext)
+	s.sendEvent = s.net.Scheduler().ScheduleHandlerAt(at, s)
 }
 
 // Stop implements Flow.
@@ -98,29 +100,34 @@ func (s *CBRSource) Stop() {
 	s.sendEvent.Cancel()
 }
 
+// OnEvent implements sim.EventHandler: the send timer fired. Scheduling the
+// source itself (rather than a closure) keeps the per-packet path
+// allocation-free.
+func (s *CBRSource) OnEvent(now sim.Time) { s.sendNext(now) }
+
 func (s *CBRSource) sendNext(sim.Time) {
 	if !s.running {
 		return
 	}
 	s.seq++
 	s.sent++
-	pkt := &netsim.Packet{
-		ID:        s.net.NextPacketID(),
-		Label:     s.label,
-		Kind:      netsim.KindData,
-		Proto:     s.proto,
-		Seq:       s.seq,
-		Size:      s.cfg.PacketSize,
-		FlowID:    s.id,
-		Malicious: s.malicious,
-	}
+	pkt := s.net.NewPacket()
+	pkt.ID = s.net.NextPacketID()
+	pkt.Label = s.label
+	pkt.Kind = netsim.KindData
+	pkt.Proto = s.proto
+	pkt.Seq = s.seq
+	pkt.Size = s.cfg.PacketSize
+	pkt.FlowID = s.id
+	pkt.Malicious = s.malicious
+	pkt.SetFlowHash(s.labelHash)
 	s.host.Send(pkt)
 
 	gap := float64(sim.Second) / s.cfg.Rate
 	if s.rng != nil && s.cfg.Jitter > 0 {
 		gap = s.rng.Jitter(gap, s.cfg.Jitter)
 	}
-	s.sendEvent = s.net.Scheduler().ScheduleAfter(sim.Time(gap), s.sendNext)
+	s.sendEvent = s.net.Scheduler().ScheduleHandlerAfter(sim.Time(gap), s)
 }
 
 // SpoofMode selects how an attack flow forges its source address.

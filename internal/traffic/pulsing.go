@@ -42,12 +42,13 @@ func DefaultPulsingConfig(peakRate float64) PulsingConfig {
 // AttackSource at PeakRate; during off-phases it is silent. It never reacts
 // to probes or loss.
 type PulsingSource struct {
-	id    int
-	cfg   PulsingConfig
-	host  *netsim.Host
-	net   *netsim.Network
-	rng   *sim.RNG
-	label netsim.FlowLabel
+	id        int
+	cfg       PulsingConfig
+	host      *netsim.Host
+	net       *netsim.Network
+	rng       *sim.RNG
+	label     netsim.FlowLabel
+	labelHash uint64
 
 	running    bool
 	inBurst    bool
@@ -78,18 +79,20 @@ func NewPulsingSource(id int, cfg PulsingConfig, zombie *netsim.Host, victim net
 	if (cfg.Spoof == SpoofLegitimate || cfg.Spoof == SpoofIllegal) && cfg.SpoofedIP != 0 {
 		src = cfg.SpoofedIP
 	}
+	label := netsim.FlowLabel{
+		SrcIP:   src,
+		DstIP:   victim,
+		SrcPort: srcPort,
+		DstPort: victimPort,
+	}
 	return &PulsingSource{
-		id:   id,
-		cfg:  cfg,
-		host: zombie,
-		net:  zombie.Network(),
-		rng:  rng,
-		label: netsim.FlowLabel{
-			SrcIP:   src,
-			DstIP:   victim,
-			SrcPort: srcPort,
-			DstPort: victimPort,
-		},
+		id:        id,
+		cfg:       cfg,
+		host:      zombie,
+		net:       zombie.Network(),
+		rng:       rng,
+		label:     label,
+		labelHash: label.Hash(),
 	}
 }
 
@@ -125,6 +128,11 @@ func (s *PulsingSource) Start(at sim.Time) {
 	s.phaseEvent = s.net.Scheduler().ScheduleAt(at, s.beginBurst)
 }
 
+// OnEvent implements sim.EventHandler: the send timer fired. The per-packet
+// path schedules the source itself; the rare per-burst phase events keep
+// their closures.
+func (s *PulsingSource) OnEvent(now sim.Time) { s.sendNext(now) }
+
 // Stop implements Flow.
 func (s *PulsingSource) Stop() {
 	s.running = false
@@ -143,7 +151,7 @@ func (s *PulsingSource) beginBurst(now sim.Time) {
 	onTime := sim.Time(float64(s.cfg.Period) * s.cfg.DutyCycle)
 	s.net.Scheduler().ScheduleAt(now+onTime, func(sim.Time) { s.inBurst = false })
 	s.phaseEvent = s.net.Scheduler().ScheduleAt(now+s.cfg.Period, s.beginBurst)
-	s.sendEvent = s.net.Scheduler().ScheduleAt(now, s.sendNext)
+	s.sendEvent = s.net.Scheduler().ScheduleHandlerAt(now, s)
 }
 
 // sendNext emits packets while the burst lasts.
@@ -153,21 +161,21 @@ func (s *PulsingSource) sendNext(sim.Time) {
 	}
 	s.seq++
 	s.sent++
-	pkt := &netsim.Packet{
-		ID:        s.net.NextPacketID(),
-		Label:     s.label,
-		Kind:      netsim.KindData,
-		Proto:     netsim.ProtoTCP,
-		Seq:       s.seq,
-		Size:      s.cfg.PacketSize,
-		FlowID:    s.id,
-		Malicious: true,
-	}
+	pkt := s.net.NewPacket()
+	pkt.ID = s.net.NextPacketID()
+	pkt.Label = s.label
+	pkt.Kind = netsim.KindData
+	pkt.Proto = netsim.ProtoTCP
+	pkt.Seq = s.seq
+	pkt.Size = s.cfg.PacketSize
+	pkt.FlowID = s.id
+	pkt.Malicious = true
+	pkt.SetFlowHash(s.labelHash)
 	s.host.Send(pkt)
 
 	gap := float64(sim.Second) / s.cfg.PeakRate
 	if s.rng != nil {
 		gap = s.rng.Jitter(gap, 0.05)
 	}
-	s.sendEvent = s.net.Scheduler().ScheduleAfter(sim.Time(gap), s.sendNext)
+	s.sendEvent = s.net.Scheduler().ScheduleHandlerAfter(sim.Time(gap), s)
 }

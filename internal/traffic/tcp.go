@@ -38,11 +38,12 @@ func DefaultTCPConfig() TCPConfig {
 // reaction MAFIC's duplicated-ACK probes are designed to elicit. A
 // retransmission timeout collapses the window to one packet.
 type TCPSource struct {
-	id    int
-	cfg   TCPConfig
-	host  *netsim.Host
-	net   *netsim.Network
-	label netsim.FlowLabel
+	id        int
+	cfg       TCPConfig
+	host      *netsim.Host
+	net       *netsim.Network
+	label     netsim.FlowLabel
+	labelHash uint64
 
 	cwnd     float64
 	ssthresh float64
@@ -90,6 +91,7 @@ func NewTCPSource(id int, cfg TCPConfig, host *netsim.Host, victim netsim.IP, sr
 		ssthresh:   cfg.SlowStartThreshold,
 		packetSize: cfg.PacketSize,
 	}
+	s.labelHash = s.label.Hash()
 	// Receive ACKs, duplicate ACKs and probes addressed to this flow.
 	host.Register(s.label.Reverse(), s.onReverse)
 	return s
@@ -139,8 +141,13 @@ func (s *TCPSource) Start(at sim.Time) {
 	}
 	s.running = true
 	s.lastAckAt = at
-	s.sendEvent = s.net.Scheduler().ScheduleAt(at, s.sendNext)
+	s.sendEvent = s.net.Scheduler().ScheduleHandlerAt(at, s)
 }
+
+// OnEvent implements sim.EventHandler: the pacing timer fired. Scheduling the
+// source itself (rather than a closure) keeps the per-packet path
+// allocation-free.
+func (s *TCPSource) OnEvent(now sim.Time) { s.sendNext(now) }
 
 // Stop implements Flow.
 func (s *TCPSource) Stop() {
@@ -158,19 +165,19 @@ func (s *TCPSource) sendNext(now sim.Time) {
 
 	s.seq++
 	s.sent++
-	pkt := &netsim.Packet{
-		ID:     s.net.NextPacketID(),
-		Label:  s.label,
-		Kind:   netsim.KindData,
-		Proto:  netsim.ProtoTCP,
-		Seq:    s.seq,
-		Size:   s.packetSize,
-		FlowID: s.id,
-	}
+	pkt := s.net.NewPacket()
+	pkt.ID = s.net.NextPacketID()
+	pkt.Label = s.label
+	pkt.Kind = netsim.KindData
+	pkt.Proto = netsim.ProtoTCP
+	pkt.Seq = s.seq
+	pkt.Size = s.packetSize
+	pkt.FlowID = s.id
+	pkt.SetFlowHash(s.labelHash)
 	s.host.Send(pkt)
 
 	interval := s.pacingInterval()
-	s.sendEvent = s.net.Scheduler().ScheduleAfter(interval, s.sendNext)
+	s.sendEvent = s.net.Scheduler().ScheduleHandlerAfter(interval, s)
 }
 
 // pacingInterval converts the current rate into an inter-packet gap.

@@ -63,15 +63,14 @@ func (v *VictimServer) onPacket(pkt *netsim.Packet, _ sim.Time) {
 	// Acknowledge TCP data back toward the claimed source. For spoofed
 	// flows the acknowledgement goes to the spoofed owner (or nowhere),
 	// exactly as on the real Internet.
-	ack := &netsim.Packet{
-		ID:     v.net.NextPacketID(),
-		Label:  pkt.Label.Reverse(),
-		Kind:   netsim.KindAck,
-		Proto:  netsim.ProtoTCP,
-		Seq:    pkt.Seq,
-		Size:   v.ackSize,
-		FlowID: pkt.FlowID,
-	}
+	ack := v.net.NewPacket()
+	ack.ID = v.net.NextPacketID()
+	ack.Label = pkt.Label.Reverse()
+	ack.Kind = netsim.KindAck
+	ack.Proto = netsim.ProtoTCP
+	ack.Seq = pkt.Seq
+	ack.Size = v.ackSize
+	ack.FlowID = pkt.FlowID
 	v.acksGenerated++
 	v.host.Send(ack)
 }

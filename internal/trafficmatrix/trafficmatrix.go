@@ -73,7 +73,7 @@ func (c *Counter) Handle(pkt *netsim.Packet, _ sim.Time, at *netsim.Router) nets
 	} else {
 		c.transit++
 	}
-	destNode := at.Network().Owner(pkt.Label.DstIP)
+	destNode := pkt.DestOwner(at.Network())
 	if destNode != netsim.NoNode && at.Network().LinkBetween(at.ID(), destNode) != nil {
 		c.dest.Add(pkt.ID)
 		c.destPkts++
