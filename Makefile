@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet bench bench-baseline
+.PHONY: all build test vet check golden bench bench-baseline
 
 all: build test
 
@@ -12,6 +12,20 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# check is the full pre-merge gate: static analysis, a clean build of every
+# package (examples included, so they cannot rot), and the whole test suite —
+# golden-run scenario regressions and fuzz seed corpora included — under the
+# race detector.
+check:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./...
+
+# golden re-pins the scenario regression fixtures after an intentional
+# behaviour change. Review the diff before committing it.
+golden:
+	$(GO) test ./internal/experiment -run TestGoldenScenarios -update
 
 # bench measures the current engine (ns/op, B/op, allocs/op per figure
 # benchmark) and writes BENCH_current.json; diff it against the tracked

@@ -9,6 +9,9 @@
 // Examples:
 //
 //	maficsim                          # paper defaults (Pd=90%, Vt=50, Γ=95%, N=40)
+//	maficsim -list                    # show the registered scenario catalog
+//	maficsim -scenario rolling-pulse  # run a registered adversarial workload
+//	maficsim -scenario shrew -quick   # scaled-down variant of a catalog entry
 //	maficsim -pd 0.7 -flows 100       # lower drop probability, heavier traffic
 //	maficsim -defense proportional    # the non-adaptive baseline for comparison
 //	maficsim -json                    # machine-readable output
@@ -35,6 +38,9 @@ func main() {
 func run(args []string, out *os.File) error {
 	fs := flag.NewFlagSet("maficsim", flag.ContinueOnError)
 	var (
+		scenario = fs.String("scenario", "", "run a registered scenario from the catalog (see -list)")
+		list     = fs.Bool("list", false, "list the registered scenario catalog and exit")
+		quick    = fs.Bool("quick", false, "with -scenario: run the scaled-down variant (same variant the golden tests pin)")
 		pd       = fs.Float64("pd", 0.90, "MAFIC packet dropping probability Pd")
 		flows    = fs.Int("flows", 50, "total traffic volume Vt (number of flows)")
 		tcpShare = fs.Float64("tcp", 0.95, "fraction of TCP flows Γ")
@@ -50,23 +56,70 @@ func run(args []string, out *os.File) error {
 		return err
 	}
 
-	s := experiment.DefaultScenario()
-	s.Seed = *seed
-	s.Duration = sim.Time(*seconds * float64(sim.Second))
-	s.MAFIC.DropProbability = *pd
-	s.Workload.TotalFlows = *flows
-	s.Workload.TCPShare = *tcpShare
-	s.Workload.AttackRate = *rate / experiment.RateScale
-	s.Topology.NumRouters = *routers
-	switch *defense {
-	case "mafic":
-		s.Defense = experiment.DefenseMAFIC
-	case "proportional":
-		s.Defense = experiment.DefenseBaseline
-	case "none":
-		s.Defense = experiment.DefenseNone
-	default:
-		return fmt.Errorf("unknown defense %q", *defense)
+	if *list {
+		entries := experiment.Entries()
+		fmt.Fprintf(out, "registered scenarios (%d):\n", len(entries))
+		for _, e := range entries {
+			fmt.Fprintf(out, "  %-18s %s\n", e.Name, e.Description)
+		}
+		return nil
+	}
+
+	explicit := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	// Without -scenario every flag applies, defaults included (the
+	// original CLI contract). With -scenario, only flags the user set
+	// explicitly override the catalog entry's own knobs.
+	use := func(name string) bool { return *scenario == "" || explicit[name] }
+
+	var s experiment.Scenario
+	if *scenario != "" {
+		e, ok := experiment.LookupScenario(*scenario)
+		if !ok {
+			return fmt.Errorf("unknown scenario %q (run maficsim -list for the catalog)", *scenario)
+		}
+		s = e.Build()
+		if *quick {
+			s = experiment.Quick(s)
+		}
+	} else {
+		if *quick {
+			return fmt.Errorf("-quick scales down a catalog entry; pair it with -scenario <name>")
+		}
+		s = experiment.DefaultScenario()
+	}
+	if use("seed") {
+		s.Seed = *seed
+	}
+	if use("duration") {
+		s.Duration = sim.Time(*seconds * float64(sim.Second))
+	}
+	if use("pd") {
+		s.MAFIC.DropProbability = *pd
+	}
+	if use("flows") {
+		s.Workload.TotalFlows = *flows
+	}
+	if use("tcp") {
+		s.Workload.TCPShare = *tcpShare
+	}
+	if use("rate") {
+		s.Workload.AttackRate = *rate / experiment.RateScale
+	}
+	if use("routers") {
+		s.Topology.NumRouters = *routers
+	}
+	if use("defense") {
+		switch *defense {
+		case "mafic":
+			s.Defense = experiment.DefenseMAFIC
+		case "proportional":
+			s.Defense = experiment.DefenseBaseline
+		case "none":
+			s.Defense = experiment.DefenseNone
+		default:
+			return fmt.Errorf("unknown defense %q", *defense)
+		}
 	}
 
 	start := time.Now()

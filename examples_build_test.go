@@ -1,0 +1,41 @@
+package mafic
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestExamplesCompile builds every program under examples/ (compile only, no
+// execution), so the examples cannot rot as the public API evolves. It needs
+// the go tool on PATH and skips — loudly — when it is missing.
+func TestExamplesCompile(t *testing.T) {
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go tool not on PATH; cannot compile examples")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatalf("read examples/: %v", err)
+	}
+	found := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		found++
+		dir := filepath.Join("examples", e.Name())
+		t.Run(e.Name(), func(t *testing.T) {
+			cmd := exec.Command(goTool, "build", "-o", os.DevNull, "./"+dir)
+			cmd.Env = append(os.Environ(), "GOFLAGS=-mod=mod")
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("go build %s failed: %v\n%s", dir, err, out)
+			}
+		})
+	}
+	if found == 0 {
+		t.Fatal("no example programs found under examples/")
+	}
+}

@@ -38,6 +38,24 @@ func TestScenarioValidateErrors(t *testing.T) {
 		{name: "bad workload", mutate: func(s *Scenario) { s.Workload.TotalFlows = 0 }},
 		{name: "bad mafic", mutate: func(s *Scenario) { s.MAFIC.DropProbability = 2 }},
 		{name: "attack after end", mutate: func(s *Scenario) { s.Workload.AttackStart = s.Duration + sim.Second }},
+		{name: "bad topology", mutate: func(s *Scenario) { s.Topology.NumRouters = 1 }},
+		{name: "bad topology style", mutate: func(s *Scenario) { s.Topology.Style = 99 }},
+		{name: "bad monitor epoch", mutate: func(s *Scenario) { s.Monitor.Epoch = -sim.Second }},
+		{name: "bad monitor buckets", mutate: func(s *Scenario) { s.Monitor.Buckets = 100 }},
+		{name: "bad pushback share", mutate: func(s *Scenario) { s.Pushback.ATRShare = 2 }},
+		{name: "bad pushback history", mutate: func(s *Scenario) { s.Pushback.HistoryFactor = -1 }},
+		{name: "baseline probability above one", mutate: func(s *Scenario) {
+			s.Defense = DefenseBaseline
+			s.BaselineDropProbability = 1.5
+		}},
+		{name: "baseline probability negative", mutate: func(s *Scenario) {
+			s.Defense = DefenseBaseline
+			s.BaselineDropProbability = -0.2
+		}},
+		{name: "flash crowd after end", mutate: func(s *Scenario) {
+			s.Workload.FlashCrowdFlows = 10
+			s.Workload.FlashCrowdStart = s.Duration + sim.Second
+		}},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {

@@ -1,0 +1,200 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"mafic/internal/sim"
+	"mafic/internal/topology"
+)
+
+// Entry is one named, self-describing scenario in the registry. Build must
+// return a fresh Scenario on every call so callers can mutate the result
+// freely.
+type Entry struct {
+	// Name is the registry key, used by `maficsim -scenario <name>`.
+	Name string
+	// Description is a one-line summary of the adversary strategy the
+	// scenario exercises.
+	Description string
+	// Build constructs the scenario with its default knobs and seed.
+	Build func() Scenario
+}
+
+var (
+	registryMu sync.RWMutex
+	registry   = make(map[string]Entry)
+)
+
+// Register adds a scenario to the registry. It fails on empty names, nil
+// builders, and duplicates, so every registered name is runnable.
+func Register(e Entry) error {
+	if e.Name == "" {
+		return fmt.Errorf("%w: scenario name must not be empty", ErrScenario)
+	}
+	if e.Build == nil {
+		return fmt.Errorf("%w: scenario %q has no builder", ErrScenario, e.Name)
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[e.Name]; dup {
+		return fmt.Errorf("%w: scenario %q registered twice", ErrScenario, e.Name)
+	}
+	registry[e.Name] = e
+	return nil
+}
+
+// MustRegister is Register for known-good entries; it panics on error and is
+// meant for package-level catalogs.
+func MustRegister(e Entry) {
+	if err := Register(e); err != nil {
+		panic(err)
+	}
+}
+
+// LookupScenario returns the registered entry for name.
+func LookupScenario(name string) (Entry, bool) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	e, ok := registry[name]
+	return e, ok
+}
+
+// ScenarioNames returns every registered name in sorted order.
+func ScenarioNames() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Entries returns every registered entry sorted by name.
+func Entries() []Entry {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]Entry, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Quick returns a scaled-down copy of s that exercises the same pipeline —
+// same adversary strategy, same detection and defence path — in a fraction
+// of the events. Tests and golden-run fixtures use it so the whole catalog
+// re-runs in well under a second.
+func Quick(s Scenario) Scenario {
+	if s.Topology.Style == topology.StyleTransitStub {
+		s.Topology.NumRouters = 18
+		s.Topology.TransitRouters = 3
+	} else {
+		s.Topology.NumRouters = 16
+		s.Topology.ExtraChords = 4
+	}
+	s.Topology.BystanderHosts = 8
+	if s.Workload.TotalFlows > 30 {
+		s.Workload.TotalFlows = 30
+	}
+	if s.Workload.FlashCrowdFlows > 12 {
+		s.Workload.FlashCrowdFlows = 12
+	}
+	if s.Duration > 2*sim.Second {
+		s.Duration = 2 * sim.Second
+	}
+	if s.DetectionFallback > 300*sim.Millisecond {
+		s.DetectionFallback = 300 * sim.Millisecond
+	}
+	return s
+}
+
+// builtin assembles a catalog entry whose scenario starts from the paper's
+// Table II defaults and applies the given twist.
+func builtin(name, description string, twist func(*Scenario)) Entry {
+	return Entry{
+		Name:        name,
+		Description: description,
+		Build: func() Scenario {
+			s := DefaultScenario()
+			s.Name = name
+			if twist != nil {
+				twist(&s)
+			}
+			return s
+		},
+	}
+}
+
+// The built-in catalog: the paper's default operating point plus the
+// adversarial workloads the paper never tried. Every entry runs through the
+// same Run/RunMany path and emits the same Result metrics, so any of them is
+// one `-scenario <name>` away from a reproducible, benchmarkable run.
+func init() {
+	MustRegister(builtin("table2",
+		"paper Table II defaults: single pulsing flood, Pd=90%, Vt=50, Γ=95%, N=40",
+		nil))
+
+	MustRegister(builtin("multi-victim",
+		"simultaneous floods on the primary victim and two extra victims behind their own last-hop routers",
+		func(s *Scenario) {
+			s.Topology.ExtraVictims = 2
+			s.Workload.TotalFlows = 60
+			s.Workload.TCPShare = 0.80
+			s.Workload.ExtraVictimShare = 0.4
+		}))
+
+	MustRegister(builtin("rolling-pulse",
+		"rotating source groups hand the flooding baton every 150 ms, shifting the hot routers between epochs",
+		func(s *Scenario) {
+			s.Workload.TotalFlows = 60
+			s.Workload.TCPShare = 0.80
+			s.Workload.AttackGroups = 3
+			s.Workload.AttackRotationPeriod = 150 * sim.Millisecond
+			// Each group floods one third of the time; triple the peak
+			// rate so the time-averaged volume matches the default flood.
+			s.Workload.AttackRate *= 3
+		}))
+
+	MustRegister(builtin("flash-crowd",
+		"legitimate TCP flash crowd (no spoofing) arrives with the attack — tests discrimination, not detection",
+		func(s *Scenario) {
+			s.Workload.FlashCrowdFlows = 25
+			s.Workload.FlashCrowdStart = s.Workload.AttackStart
+			s.Workload.FlashCrowdWindow = 150 * sim.Millisecond
+			s.Workload.FlashCrowdRate = s.Workload.LegitRate
+		}))
+
+	MustRegister(builtin("rate-mix",
+		"heterogeneous attack: per-flow rates span 0.05×–3× R, hiding slow floods behind loud ones",
+		func(s *Scenario) {
+			s.Workload.TotalFlows = 60
+			s.Workload.TCPShare = 0.80
+			s.Workload.AttackRateMix = []float64{0.05, 0.25, 1, 3}
+		}))
+
+	MustRegister(builtin("shrew",
+		"low-rate shrew pulses tuned to the TCP minimum RTO: 80 ms bursts once per second",
+		func(s *Scenario) {
+			s.Workload.AttackPulsePeriod = 1 * sim.Second
+			s.Workload.AttackDutyCycle = 0.08
+			s.Workload.TotalFlows = 60
+			s.Workload.TCPShare = 0.80
+		}))
+
+	MustRegister(builtin("transit-stub",
+		"default flood on a transit-stub domain: a meshed transit core with stub chains, not the intra-AS ring",
+		func(s *Scenario) {
+			s.Topology = topology.DefaultTransitStubConfig()
+		}))
+
+	MustRegister(builtin("multihomed-victim",
+		"victim is dual-homed, splitting its inbound flood across two last-hop routers",
+		func(s *Scenario) {
+			s.Topology.MultiHomedVictim = true
+		}))
+}

@@ -1,0 +1,104 @@
+package experiment
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestRegistryCatalogSize(t *testing.T) {
+	// The catalog must offer the paper's default operating point plus at
+	// least five adversarial workloads.
+	entries := Entries()
+	if len(entries) < 6 {
+		t.Fatalf("catalog has %d scenarios, want >= 6", len(entries))
+	}
+	if _, ok := LookupScenario("table2"); !ok {
+		t.Fatal("table2 default scenario missing from the catalog")
+	}
+}
+
+func TestRegistryEntriesBuildAndValidate(t *testing.T) {
+	for _, e := range Entries() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			if e.Description == "" {
+				t.Fatal("entry has no description")
+			}
+			s := e.Build()
+			if s.Name != e.Name {
+				t.Fatalf("scenario name %q != registry name %q", s.Name, e.Name)
+			}
+			if err := s.Validate(); err != nil {
+				t.Fatalf("full scenario invalid: %v", err)
+			}
+			if err := Quick(s).Validate(); err != nil {
+				t.Fatalf("quick scenario invalid: %v", err)
+			}
+		})
+	}
+}
+
+func TestRegistryBuildReturnsFreshScenarios(t *testing.T) {
+	e, ok := LookupScenario("rolling-pulse")
+	if !ok {
+		t.Fatal("rolling-pulse missing")
+	}
+	a := e.Build()
+	a.Workload.TotalFlows = 1
+	a.Workload.AttackRateMix = append(a.Workload.AttackRateMix, 99)
+	b := e.Build()
+	if b.Workload.TotalFlows == 1 {
+		t.Fatal("Build returned a shared scenario: mutation leaked")
+	}
+	for _, m := range b.Workload.AttackRateMix {
+		if m == 99 {
+			t.Fatal("Build returned a shared rate mix slice")
+		}
+	}
+}
+
+func TestRegistryNamesSorted(t *testing.T) {
+	names := ScenarioNames()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("names not sorted or not unique: %q then %q", names[i-1], names[i])
+		}
+	}
+	if len(names) != len(Entries()) {
+		t.Fatal("ScenarioNames and Entries disagree")
+	}
+}
+
+func TestRegisterRejectsBadEntries(t *testing.T) {
+	if err := Register(Entry{Name: "", Build: DefaultScenario}); !errors.Is(err, ErrScenario) {
+		t.Fatalf("empty name: want ErrScenario, got %v", err)
+	}
+	if err := Register(Entry{Name: "no-builder"}); !errors.Is(err, ErrScenario) {
+		t.Fatalf("nil builder: want ErrScenario, got %v", err)
+	}
+	if err := Register(Entry{Name: "table2", Build: DefaultScenario}); !errors.Is(err, ErrScenario) {
+		t.Fatalf("duplicate: want ErrScenario, got %v", err)
+	}
+}
+
+func TestQuickScenarioRunsEveryEntry(t *testing.T) {
+	for _, e := range Entries() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			t.Parallel()
+			res, err := Run(Quick(e.Build()))
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if !res.Activated {
+				t.Fatal("defense never activated")
+			}
+			if res.EventsProcessed == 0 {
+				t.Fatal("no events processed")
+			}
+			if res.Counts.ATRAttackPost == 0 {
+				t.Fatal("no attack packets observed post-activation")
+			}
+		})
+	}
+}

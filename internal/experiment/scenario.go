@@ -139,16 +139,36 @@ func (s Scenario) Validate() error {
 	if s.Defense < DefenseMAFIC || s.Defense > DefenseNone {
 		return fmt.Errorf("%w: unknown defence kind %d", ErrScenario, s.Defense)
 	}
+	if err := s.Topology.Validate(); err != nil {
+		return fmt.Errorf("%w: topology: %v", ErrScenario, err)
+	}
 	if err := s.Workload.Validate(); err != nil {
 		return fmt.Errorf("%w: workload: %v", ErrScenario, err)
+	}
+	if err := s.Monitor.Validate(); err != nil {
+		return fmt.Errorf("%w: monitor: %v", ErrScenario, err)
+	}
+	if err := s.Pushback.Validate(); err != nil {
+		return fmt.Errorf("%w: pushback: %v", ErrScenario, err)
 	}
 	if s.Defense == DefenseMAFIC {
 		if err := s.MAFIC.Validate(); err != nil {
 			return fmt.Errorf("%w: mafic: %v", ErrScenario, err)
 		}
 	}
+	if s.Defense == DefenseBaseline {
+		// Zero means "inherit MAFIC.DropProbability"; anything else must
+		// be a probability.
+		if s.BaselineDropProbability < 0 || s.BaselineDropProbability > 1 {
+			return fmt.Errorf("%w: baseline drop probability %v outside [0,1]",
+				ErrScenario, s.BaselineDropProbability)
+		}
+	}
 	if s.Workload.AttackStart >= s.Duration {
 		return fmt.Errorf("%w: attack starts after the simulation ends", ErrScenario)
+	}
+	if s.Workload.FlashCrowdFlows > 0 && s.Workload.FlashCrowdStart >= s.Duration {
+		return fmt.Errorf("%w: flash crowd starts after the simulation ends", ErrScenario)
 	}
 	return nil
 }

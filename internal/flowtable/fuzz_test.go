@@ -1,0 +1,114 @@
+package flowtable
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"mafic/internal/sim"
+)
+
+// FuzzTablesOps drives the SFT/NFT/PDT state machine with an arbitrary
+// operation stream under a tiny capacity bound and checks the structural
+// invariants the MAFIC engine relies on: a flow lives in at most one table,
+// Lookup agrees with the entry's own State, and no table ever exceeds its
+// capacity.
+func FuzzTablesOps(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{
+		0, 1, 0, 0, 0, 0, 0, 0, 0, // insert suspicious #1
+		2, 1, 0, 0, 0, 0, 0, 0, 0, // promote #1
+		1, 1, 0, 0, 0, 0, 0, 0, 0, // force #1 into the PDT
+		4, 0, 0, 0, 0, 0, 0, 0, 0, // flush
+	})
+	f.Add([]byte{
+		0, 1, 0, 0, 0, 0, 0, 0, 0,
+		0, 2, 0, 0, 0, 0, 0, 0, 0,
+		0, 3, 0, 0, 0, 0, 0, 0, 0,
+		0, 4, 0, 0, 0, 0, 0, 0, 0, // overflows capacity 3: evicts
+		3, 2, 0, 0, 0, 0, 0, 0, 0, // condemn #2
+	})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		const capacity = 3
+		tables := New(capacity)
+		now := sim.Time(0)
+
+		checkInvariants := func() {
+			t.Helper()
+			sft, nft, pdt := tables.Sizes()
+			if sft > capacity || nft > capacity || pdt > capacity {
+				t.Fatalf("capacity exceeded: sft=%d nft=%d pdt=%d cap=%d", sft, nft, pdt, capacity)
+			}
+			snap := tables.Snapshot()
+			if len(snap) != sft+nft+pdt {
+				t.Fatalf("a flow lives in more than one table: snapshot=%d, sizes=%d",
+					len(snap), sft+nft+pdt)
+			}
+			for hash, state := range snap {
+				entry, got := tables.Lookup(hash)
+				if got != state {
+					t.Fatalf("Lookup(%#x) state %v != snapshot state %v", hash, got, state)
+				}
+				if entry == nil {
+					t.Fatalf("Lookup(%#x) returned a nil entry for a tracked flow", hash)
+				}
+				if entry.State != state {
+					t.Fatalf("entry.State %v != table membership %v", entry.State, state)
+				}
+			}
+		}
+
+		for len(ops) >= 9 {
+			op := ops[0]
+			hash := binary.LittleEndian.Uint64(ops[1:9])
+			ops = ops[9:]
+			now += sim.Millisecond
+
+			switch op % 6 {
+			case 0:
+				e := tables.InsertSuspicious(hash, now, now+10*sim.Millisecond)
+				if e == nil {
+					t.Fatal("InsertSuspicious returned nil")
+				}
+			case 1:
+				e := tables.InsertPermanent(hash, now)
+				if e == nil {
+					t.Fatal("InsertPermanent returned nil")
+				}
+				if e.State != StatePermanentDrop {
+					t.Fatalf("InsertPermanent left state %v", e.State)
+				}
+			case 2:
+				if e, state := tables.Lookup(hash); state == StateSuspicious {
+					tables.Promote(e)
+					if e.State != StateNice {
+						t.Fatalf("Promote left state %v", e.State)
+					}
+				} else {
+					tables.Promote(e) // no-op on non-SFT entries, must not corrupt
+				}
+			case 3:
+				if e, state := tables.Lookup(hash); state == StateSuspicious {
+					tables.Condemn(e)
+					if e.State != StatePermanentDrop {
+						t.Fatalf("Condemn left state %v", e.State)
+					}
+				} else {
+					tables.Condemn(e)
+				}
+			case 4:
+				tables.Flush()
+				if sft, nft, pdt := tables.Sizes(); sft+nft+pdt != 0 {
+					t.Fatal("Flush left entries behind")
+				}
+			case 5:
+				expired := tables.ExpiredSuspicious(now)
+				for i := 1; i < len(expired); i++ {
+					if expired[i-1].ProbeDeadline > expired[i].ProbeDeadline {
+						t.Fatal("ExpiredSuspicious not sorted by deadline")
+					}
+				}
+			}
+			checkInvariants()
+		}
+	})
+}

@@ -1,0 +1,39 @@
+package pushback
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	if err := (Config{}).Validate(); err != nil {
+		t.Fatalf("zero config must be valid (all defaults): %v", err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"negative absolute threshold", func(c *Config) { c.AbsoluteThreshold = -1 }},
+		{"negative relative factor", func(c *Config) { c.RelativeFactor = -0.5 }},
+		{"negative history factor", func(c *Config) { c.HistoryFactor = -2 }},
+		{"negative history epochs", func(c *Config) { c.MinHistoryEpochs = -1 }},
+		{"negative min victim load", func(c *Config) { c.MinVictimLoad = -10 }},
+		{"ATR share above one", func(c *Config) { c.ATRShare = 1.5 }},
+		{"negative ATR share", func(c *Config) { c.ATRShare = -0.1 }},
+		{"negative max ATRs", func(c *Config) { c.MaxATRs = -1 }},
+		{"withdraw factor above one", func(c *Config) { c.WithdrawFactor = 2 }},
+		{"negative withdraw epochs", func(c *Config) { c.WithdrawEpochs = -1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			tt.mutate(&cfg)
+			if err := cfg.Validate(); !errors.Is(err, ErrConfig) {
+				t.Fatalf("want ErrConfig, got %v", err)
+			}
+		})
+	}
+}

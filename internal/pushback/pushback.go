@@ -6,6 +6,8 @@
 package pushback
 
 import (
+	"errors"
+	"fmt"
 	"sort"
 
 	"mafic/internal/netsim"
@@ -83,6 +85,43 @@ type Config struct {
 	// (typically the domain's ingress routers). Empty means any router
 	// may be identified.
 	Eligible []netsim.NodeID
+}
+
+// ErrConfig is returned by Validate for inconsistent detector settings.
+var ErrConfig = errors.New("pushback: invalid config")
+
+// Validate reports configuration problems. Zero values are legal for every
+// tunable (they select a default or disable a test); Validate rejects values
+// that are outright contradictory.
+func (c Config) Validate() error {
+	if c.AbsoluteThreshold < 0 {
+		return fmt.Errorf("%w: absolute threshold %v", ErrConfig, c.AbsoluteThreshold)
+	}
+	if c.RelativeFactor < 0 {
+		return fmt.Errorf("%w: relative factor %v", ErrConfig, c.RelativeFactor)
+	}
+	if c.HistoryFactor < 0 {
+		return fmt.Errorf("%w: history factor %v", ErrConfig, c.HistoryFactor)
+	}
+	if c.MinHistoryEpochs < 0 {
+		return fmt.Errorf("%w: min history epochs %d", ErrConfig, c.MinHistoryEpochs)
+	}
+	if c.MinVictimLoad < 0 {
+		return fmt.Errorf("%w: min victim load %v", ErrConfig, c.MinVictimLoad)
+	}
+	if c.ATRShare < 0 || c.ATRShare > 1 {
+		return fmt.Errorf("%w: ATR share %v outside [0,1]", ErrConfig, c.ATRShare)
+	}
+	if c.MaxATRs < 0 {
+		return fmt.Errorf("%w: max ATRs %d", ErrConfig, c.MaxATRs)
+	}
+	if c.WithdrawFactor < 0 || c.WithdrawFactor > 1 {
+		return fmt.Errorf("%w: withdraw factor %v outside [0,1]", ErrConfig, c.WithdrawFactor)
+	}
+	if c.WithdrawEpochs < 0 {
+		return fmt.Errorf("%w: withdraw epochs %d", ErrConfig, c.WithdrawEpochs)
+	}
+	return nil
 }
 
 // DefaultConfig returns detector settings that work for the scenario scale

@@ -24,11 +24,43 @@ var (
 	// ErrNoIngress is returned when the configuration yields no ingress
 	// routers.
 	ErrNoIngress = errors.New("topology: domain needs at least 1 ingress router")
+	// ErrConfig is returned by Validate for inconsistent configurations.
+	ErrConfig = errors.New("topology: invalid config")
 )
+
+// Style selects the router-level graph shape of the generated domain.
+type Style int
+
+// Domain styles.
+const (
+	// StyleRing is the default intra-AS approximation: a ring of core
+	// routers with random chord shortcuts.
+	StyleRing Style = iota
+	// StyleTransitStub is a two-level transit-stub graph: a small fully
+	// meshed transit core with chains of stub routers hanging off it.
+	// Ingress routers sit on the stub chains and the victim hangs behind
+	// the deepest stub router, so attack paths have to cross the transit
+	// core the way inter-domain traffic does.
+	StyleTransitStub
+)
+
+// String implements fmt.Stringer.
+func (s Style) String() string {
+	switch s {
+	case StyleRing:
+		return "ring"
+	case StyleTransitStub:
+		return "transit-stub"
+	default:
+		return "unknown"
+	}
+}
 
 // Config describes the domain to generate. The zero value is not usable;
 // start from DefaultConfig.
 type Config struct {
+	// Style selects the router graph generator (ring by default).
+	Style Style
 	// NumRouters is the total number of routers in the domain (paper
 	// parameter N, default 40).
 	NumRouters int
@@ -36,8 +68,12 @@ type Config struct {
 	// zero, a quarter of the routers (at least one) become ingress.
 	NumIngress int
 	// ExtraChords adds this many random shortcut links to the core ring
-	// so paths are not all forced through the same routers.
+	// so paths are not all forced through the same routers. It is ignored
+	// by StyleTransitStub.
 	ExtraChords int
+	// TransitRouters is the transit-core size for StyleTransitStub; zero
+	// derives NumRouters/6 (minimum 3). Ignored by StyleRing.
+	TransitRouters int
 
 	// CoreLink, AccessLink and VictimLink configure the three classes of
 	// links in the domain.
@@ -56,6 +92,62 @@ type Config struct {
 	// and ignore any packet sent to them (so probes to spoofed sources
 	// are silently swallowed, as in the real Internet).
 	BystanderHosts int
+
+	// ExtraVictims attaches this many additional victim hosts, each
+	// behind its own non-ingress router, for simultaneous multi-victim
+	// flood scenarios. The primary victim keeps its role; extra victims
+	// only absorb the part of the attack aimed at them.
+	ExtraVictims int
+	// MultiHomedVictim gives the primary victim a second access link to
+	// another (non-ingress) router, so shortest-path routing splits its
+	// inbound traffic across two last-hop routers and dilutes the
+	// per-router load signal the detector watches.
+	MultiHomedVictim bool
+}
+
+// Validate reports configuration problems before an expensive build.
+func (c Config) Validate() error {
+	if c.NumRouters < 2 {
+		return fmt.Errorf("%w: need at least 2 routers, got %d", ErrConfig, c.NumRouters)
+	}
+	if c.Style != StyleRing && c.Style != StyleTransitStub {
+		return fmt.Errorf("%w: unknown style %d", ErrConfig, c.Style)
+	}
+	if c.NumIngress < 0 || c.NumIngress > c.NumRouters-1 {
+		return fmt.Errorf("%w: ingress count %d with %d routers", ErrConfig, c.NumIngress, c.NumRouters)
+	}
+	if c.ExtraChords < 0 {
+		return fmt.Errorf("%w: negative chord count %d", ErrConfig, c.ExtraChords)
+	}
+	if c.TransitRouters < 0 || (c.Style == StyleTransitStub && c.TransitRouters > c.NumRouters-1) {
+		return fmt.Errorf("%w: transit core %d with %d routers", ErrConfig, c.TransitRouters, c.NumRouters)
+	}
+	if c.ClientsPerIngress < 0 || c.ZombiesPerIngress < 0 || c.BystanderHosts < 0 {
+		return fmt.Errorf("%w: negative host counts", ErrConfig)
+	}
+	for _, lc := range []struct {
+		name string
+		cfg  netsim.LinkConfig
+	}{{"core", c.CoreLink}, {"access", c.AccessLink}, {"victim", c.VictimLink}} {
+		if lc.cfg.BandwidthBps <= 0 {
+			return fmt.Errorf("%w: %s link bandwidth %v", ErrConfig, lc.name, lc.cfg.BandwidthBps)
+		}
+		if lc.cfg.Delay < 0 {
+			return fmt.Errorf("%w: %s link delay %v", ErrConfig, lc.name, lc.cfg.Delay)
+		}
+		if lc.cfg.QueueLen <= 0 {
+			return fmt.Errorf("%w: %s link queue length %d", ErrConfig, lc.name, lc.cfg.QueueLen)
+		}
+	}
+	// The 250 cap keeps every extra victim inside the 10.0.0.0/24 block
+	// the builder allocates, clear of the primary victim's 10.0.0.1.
+	if c.ExtraVictims < 0 || c.ExtraVictims > 250 {
+		return fmt.Errorf("%w: extra victim count %d outside [0,250]", ErrConfig, c.ExtraVictims)
+	}
+	if c.MultiHomedVictim && c.NumRouters < 3 {
+		return fmt.Errorf("%w: multi-homed victim needs at least 3 routers", ErrConfig)
+	}
+	return nil
 }
 
 // DefaultConfig returns the domain configuration used throughout the paper's
@@ -103,6 +195,12 @@ type Domain struct {
 
 	// Victim is the host under attack.
 	Victim *netsim.Host
+	// VictimHomes are the routers the primary victim attaches to: LastHop
+	// first, plus a second home for multi-homed configurations.
+	VictimHomes []*netsim.Router
+	// ExtraVictims are additional victim hosts for multi-victim flood
+	// scenarios, each behind its own router.
+	ExtraVictims []*netsim.Host
 	// Clients are the legitimate traffic sources, grouped per ingress.
 	Clients []*netsim.Host
 	// Zombies are the attack traffic sources, grouped per ingress.
@@ -149,6 +247,11 @@ func Build(cfg Config, sched *sim.Scheduler, rng *sim.RNG) (*Domain, error) {
 	if cfg.NumRouters < 2 {
 		return nil, ErrTooFewRouters
 	}
+	// Direct Build callers get the same invariants as the scenario path;
+	// the NumRouters check above keeps its historical sentinel error.
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	numIngress := cfg.NumIngress
 	if numIngress <= 0 {
 		numIngress = cfg.NumRouters / 4
@@ -170,47 +273,21 @@ func Build(cfg Config, sched *sim.Scheduler, rng *sim.RNG) (*Domain, error) {
 		zombieIngress: make(map[netsim.NodeID]*netsim.Router),
 	}
 
-	// Core routers: a ring plus random chords keeps the graph connected
-	// with path diversity, approximating an intra-AS mesh.
 	d.Routers = make([]*netsim.Router, 0, cfg.NumRouters)
 	for i := 0; i < cfg.NumRouters; i++ {
 		d.Routers = append(d.Routers, net.AddRouter(fmt.Sprintf("r%d", i)))
 	}
-	for i := 0; i < cfg.NumRouters; i++ {
-		a := d.Routers[i]
-		b := d.Routers[(i+1)%cfg.NumRouters]
-		if cfg.NumRouters == 2 && i == 1 {
-			break // avoid adding the 1->0 ring link twice for tiny domains
-		}
-		if err := net.ConnectDuplex(a.ID(), b.ID(), cfg.CoreLink); err != nil {
-			return nil, fmt.Errorf("core ring: %w", err)
-		}
-	}
-	for c := 0; c < cfg.ExtraChords && cfg.NumRouters > 3; c++ {
-		i := rng.Intn(cfg.NumRouters)
-		j := rng.Intn(cfg.NumRouters)
-		if i == j || net.LinkBetween(d.Routers[i].ID(), d.Routers[j].ID()) != nil {
-			continue
-		}
-		if err := net.ConnectDuplex(d.Routers[i].ID(), d.Routers[j].ID(), cfg.CoreLink); err != nil {
-			return nil, fmt.Errorf("core chord: %w", err)
-		}
-	}
 
-	// The last router is the last-hop router; ingress routers are spread
-	// evenly around the rest of the ring so attack paths are diverse.
-	d.LastHop = d.Routers[cfg.NumRouters-1]
-	stride := (cfg.NumRouters - 1) / numIngress
-	if stride < 1 {
-		stride = 1
+	// Wire the router graph and pick the ingress set per style.
+	var err error
+	switch cfg.Style {
+	case StyleTransitStub:
+		err = buildTransitStubCore(cfg, net, d, numIngress)
+	default:
+		err = buildRingCore(cfg, net, d, rng, numIngress)
 	}
-	for k := 0; k < numIngress; k++ {
-		idx := (k * stride) % (cfg.NumRouters - 1)
-		r := d.Routers[idx]
-		if containsRouter(d.Ingress, r) {
-			continue
-		}
-		d.Ingress = append(d.Ingress, r)
+	if err != nil {
+		return nil, err
 	}
 	if len(d.Ingress) == 0 {
 		return nil, ErrNoIngress
@@ -219,8 +296,43 @@ func Build(cfg Config, sched *sim.Scheduler, rng *sim.RNG) (*Domain, error) {
 	// Victim server behind the last-hop router.
 	d.Victim = net.AddHost("victim", ipFrom(10, 0, 0, 1))
 	d.Victim.AttachTo(d.LastHop.ID())
+	d.VictimHomes = append(d.VictimHomes, d.LastHop)
 	if err := net.ConnectDuplex(d.Victim.ID(), d.LastHop.ID(), cfg.VictimLink); err != nil {
 		return nil, fmt.Errorf("victim link: %w", err)
+	}
+	if cfg.MultiHomedVictim {
+		second := d.pickQuietRouter(nil)
+		if second == nil {
+			return nil, fmt.Errorf("%w: no router available as second victim home", ErrConfig)
+		}
+		d.VictimHomes = append(d.VictimHomes, second)
+		if err := net.ConnectDuplex(d.Victim.ID(), second.ID(), cfg.VictimLink); err != nil {
+			return nil, fmt.Errorf("victim second home: %w", err)
+		}
+	}
+
+	// Extra victims for multi-victim flood scenarios, each behind its own
+	// router so their last-hop load shows up as a distinct hot row in the
+	// traffic matrix.
+	taken := make(map[netsim.NodeID]bool)
+	for _, r := range d.VictimHomes {
+		taken[r.ID()] = true
+	}
+	for k := 0; k < cfg.ExtraVictims; k++ {
+		attach := d.pickQuietRouter(taken)
+		if attach == nil {
+			return nil, fmt.Errorf("%w: not enough routers for %d extra victims", ErrConfig, cfg.ExtraVictims)
+		}
+		taken[attach.ID()] = true
+		h := net.AddHost(fmt.Sprintf("victim%d", k+2), ipFrom(10, 0, 0, byte(2+k)))
+		h.AttachTo(attach.ID())
+		if err := net.ConnectDuplex(h.ID(), attach.ID(), cfg.VictimLink); err != nil {
+			return nil, fmt.Errorf("extra victim link: %w", err)
+		}
+		// Swallow traffic by default; workload builders install a real
+		// server when the scenario targets this victim.
+		h.SetDefaultHandler(func(*netsim.Packet, sim.Time) {})
+		d.ExtraVictims = append(d.ExtraVictims, h)
 	}
 
 	// Source hosts behind each ingress router.
@@ -266,6 +378,65 @@ func Build(cfg Config, sched *sim.Scheduler, rng *sim.RNG) (*Domain, error) {
 		return nil, err
 	}
 	return d, nil
+}
+
+// buildRingCore wires the default intra-AS approximation: a ring of core
+// routers plus random chords, with the last router as the last hop and the
+// ingress routers spread evenly around the rest of the ring.
+func buildRingCore(cfg Config, net *netsim.Network, d *Domain, rng *sim.RNG, numIngress int) error {
+	for i := 0; i < cfg.NumRouters; i++ {
+		a := d.Routers[i]
+		b := d.Routers[(i+1)%cfg.NumRouters]
+		if cfg.NumRouters == 2 && i == 1 {
+			break // avoid adding the 1->0 ring link twice for tiny domains
+		}
+		if err := net.ConnectDuplex(a.ID(), b.ID(), cfg.CoreLink); err != nil {
+			return fmt.Errorf("core ring: %w", err)
+		}
+	}
+	for c := 0; c < cfg.ExtraChords && cfg.NumRouters > 3; c++ {
+		i := rng.Intn(cfg.NumRouters)
+		j := rng.Intn(cfg.NumRouters)
+		if i == j || net.LinkBetween(d.Routers[i].ID(), d.Routers[j].ID()) != nil {
+			continue
+		}
+		if err := net.ConnectDuplex(d.Routers[i].ID(), d.Routers[j].ID(), cfg.CoreLink); err != nil {
+			return fmt.Errorf("core chord: %w", err)
+		}
+	}
+
+	d.LastHop = d.Routers[cfg.NumRouters-1]
+	stride := (cfg.NumRouters - 1) / numIngress
+	if stride < 1 {
+		stride = 1
+	}
+	for k := 0; k < numIngress; k++ {
+		idx := (k * stride) % (cfg.NumRouters - 1)
+		r := d.Routers[idx]
+		if containsRouter(d.Ingress, r) {
+			continue
+		}
+		d.Ingress = append(d.Ingress, r)
+	}
+	return nil
+}
+
+// pickQuietRouter returns the first router that is neither an ingress nor the
+// last hop nor already taken, falling back to any non-last-hop router. The
+// deterministic scan keeps domain generation reproducible.
+func (d *Domain) pickQuietRouter(taken map[netsim.NodeID]bool) *netsim.Router {
+	for pass := 0; pass < 2; pass++ {
+		for _, r := range d.Routers {
+			if r == d.LastHop || taken[r.ID()] {
+				continue
+			}
+			if pass == 0 && containsRouter(d.Ingress, r) {
+				continue
+			}
+			return r
+		}
+	}
+	return nil
 }
 
 func containsRouter(rs []*netsim.Router, r *netsim.Router) bool {

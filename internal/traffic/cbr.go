@@ -173,21 +173,7 @@ var _ Flow = (*AttackSource)(nil)
 
 // NewAttackSource creates an attack flow on the given zombie host.
 func NewAttackSource(id int, cfg AttackConfig, zombie *netsim.Host, victim netsim.IP, srcPort uint16, rng *sim.RNG) *AttackSource {
-	src := zombie.PrimaryIP()
-	switch cfg.Spoof {
-	case SpoofLegitimate, SpoofIllegal:
-		if cfg.SpoofedIP != 0 {
-			src = cfg.SpoofedIP
-		}
-	default:
-		// SpoofNone keeps the zombie's own address.
-	}
-	label := netsim.FlowLabel{
-		SrcIP:   src,
-		DstIP:   victim,
-		SrcPort: srcPort,
-		DstPort: victimPort,
-	}
+	label := attackSourceLabel(zombie, victim, srcPort, cfg.Spoof, cfg.SpoofedIP)
 	// The paper notes most attack traffic claims to be TCP, so attack
 	// packets carry the TCP protocol marker while ignoring all feedback.
 	cbr := newCBR(id, CBRConfig{Rate: cfg.Rate, PacketSize: cfg.PacketSize, Jitter: cfg.Jitter},

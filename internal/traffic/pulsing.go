@@ -75,16 +75,7 @@ func NewPulsingSource(id int, cfg PulsingConfig, zombie *netsim.Host, victim net
 	if cfg.DutyCycle <= 0 || cfg.DutyCycle > 1 {
 		cfg.DutyCycle = 0.2
 	}
-	src := zombie.PrimaryIP()
-	if (cfg.Spoof == SpoofLegitimate || cfg.Spoof == SpoofIllegal) && cfg.SpoofedIP != 0 {
-		src = cfg.SpoofedIP
-	}
-	label := netsim.FlowLabel{
-		SrcIP:   src,
-		DstIP:   victim,
-		SrcPort: srcPort,
-		DstPort: victimPort,
-	}
+	label := attackSourceLabel(zombie, victim, srcPort, cfg.Spoof, cfg.SpoofedIP)
 	return &PulsingSource{
 		id:        id,
 		cfg:       cfg,
@@ -151,6 +142,10 @@ func (s *PulsingSource) beginBurst(now sim.Time) {
 	onTime := sim.Time(float64(s.cfg.Period) * s.cfg.DutyCycle)
 	s.net.Scheduler().ScheduleAt(now+onTime, func(sim.Time) { s.inBurst = false })
 	s.phaseEvent = s.net.Scheduler().ScheduleAt(now+s.cfg.Period, s.beginBurst)
+	// A send gap longer than the off-phase leaves the previous burst's
+	// timer pending into this burst; cancel it so exactly one send chain
+	// is ever live and the rate cannot compound across periods.
+	s.sendEvent.Cancel()
 	s.sendEvent = s.net.Scheduler().ScheduleHandlerAt(now, s)
 }
 
@@ -161,17 +156,7 @@ func (s *PulsingSource) sendNext(sim.Time) {
 	}
 	s.seq++
 	s.sent++
-	pkt := s.net.NewPacket()
-	pkt.ID = s.net.NextPacketID()
-	pkt.Label = s.label
-	pkt.Kind = netsim.KindData
-	pkt.Proto = netsim.ProtoTCP
-	pkt.Seq = s.seq
-	pkt.Size = s.cfg.PacketSize
-	pkt.FlowID = s.id
-	pkt.Malicious = true
-	pkt.SetFlowHash(s.labelHash)
-	s.host.Send(pkt)
+	emitAttackPacket(s.net, s.host, s.label, s.labelHash, s.id, s.seq, s.cfg.PacketSize)
 
 	gap := float64(sim.Second) / s.cfg.PeakRate
 	if s.rng != nil {

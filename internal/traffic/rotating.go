@@ -1,0 +1,167 @@
+package traffic
+
+import (
+	"mafic/internal/netsim"
+	"mafic/internal/sim"
+)
+
+// RotatingConfig tunes one flow of a rolling (rotating) pulse attack: the
+// attack flows are partitioned into groups, and at any instant exactly one
+// group floods while the others stay silent. Each measurement epoch the
+// flooding role hands off to the next group, so the set of hot source routers
+// keeps shifting under the detector — an adversary strategy aimed directly at
+// per-router baseline tests.
+type RotatingConfig struct {
+	// PeakRate is the flooding rate while the flow's group holds the
+	// baton, in packets/s.
+	PeakRate float64
+	// SlotLength is how long each group floods before handing off.
+	SlotLength sim.Time
+	// Groups is the number of rotation groups; the full rotation cycle is
+	// Groups × SlotLength.
+	Groups int
+	// Group is this flow's group index in [0, Groups).
+	Group int
+	// PacketSize is the attack packet size in bytes.
+	PacketSize int
+	// Spoof selects the source-address forging strategy.
+	Spoof SpoofMode
+	// SpoofedIP is the forged source address for SpoofLegitimate and
+	// SpoofIllegal modes.
+	SpoofedIP netsim.IP
+}
+
+// RotatingSource is one flow of a rolling pulse attack. It floods at PeakRate
+// during its group's slot of every rotation cycle and is silent otherwise. It
+// never reacts to probes or loss.
+type RotatingSource struct {
+	id        int
+	cfg       RotatingConfig
+	host      *netsim.Host
+	net       *netsim.Network
+	rng       *sim.RNG
+	label     netsim.FlowLabel
+	labelHash uint64
+
+	running    bool
+	inSlot     bool
+	seq        int64
+	sent       uint64
+	slots      uint64
+	sendEvent  sim.EventRef
+	phaseEvent sim.EventRef
+}
+
+var _ Flow = (*RotatingSource)(nil)
+
+// NewRotatingSource creates one rolling-pulse attack flow on the given zombie
+// host. Invalid configuration fields are clamped to usable values so a
+// workload builder can always construct a runnable flow.
+func NewRotatingSource(id int, cfg RotatingConfig, zombie *netsim.Host, victim netsim.IP, srcPort uint16, rng *sim.RNG) *RotatingSource {
+	if cfg.PacketSize <= 0 {
+		cfg.PacketSize = DefaultDataSize
+	}
+	if cfg.PeakRate <= 0 {
+		cfg.PeakRate = 1
+	}
+	if cfg.SlotLength <= 0 {
+		cfg.SlotLength = 100 * sim.Millisecond
+	}
+	if cfg.Groups < 1 {
+		cfg.Groups = 1
+	}
+	if cfg.Group < 0 || cfg.Group >= cfg.Groups {
+		cfg.Group = 0
+	}
+	label := attackSourceLabel(zombie, victim, srcPort, cfg.Spoof, cfg.SpoofedIP)
+	return &RotatingSource{
+		id:        id,
+		cfg:       cfg,
+		host:      zombie,
+		net:       zombie.Network(),
+		rng:       rng,
+		label:     label,
+		labelHash: label.Hash(),
+	}
+}
+
+// ID implements Flow.
+func (s *RotatingSource) ID() int { return s.id }
+
+// Label implements Flow.
+func (s *RotatingSource) Label() netsim.FlowLabel { return s.label }
+
+// Malicious implements Flow.
+func (s *RotatingSource) Malicious() bool { return true }
+
+// PacketsSent implements Flow.
+func (s *RotatingSource) PacketsSent() uint64 { return s.sent }
+
+// Slots reports how many flooding slots this flow has held.
+func (s *RotatingSource) Slots() uint64 { return s.slots }
+
+// CurrentRate implements Flow: the peak rate while the flow's group holds the
+// flooding slot, zero otherwise.
+func (s *RotatingSource) CurrentRate() float64 {
+	if s.inSlot {
+		return s.cfg.PeakRate
+	}
+	return 0
+}
+
+// Start implements Flow. The flow's first slot begins Group slot-lengths
+// after the attack start, so group 0 floods first and the baton then travels
+// group by group.
+func (s *RotatingSource) Start(at sim.Time) {
+	if s.running {
+		return
+	}
+	s.running = true
+	offset := sim.Time(int64(s.cfg.SlotLength) * int64(s.cfg.Group))
+	s.phaseEvent = s.net.Scheduler().ScheduleAt(at+offset, s.beginSlot)
+}
+
+// OnEvent implements sim.EventHandler: the send timer fired.
+func (s *RotatingSource) OnEvent(now sim.Time) { s.sendNext(now) }
+
+// Stop implements Flow.
+func (s *RotatingSource) Stop() {
+	s.running = false
+	s.inSlot = false
+	s.sendEvent.Cancel()
+	s.phaseEvent.Cancel()
+}
+
+// beginSlot starts the flow's flooding slot and schedules the hand-off and
+// the next turn a full rotation cycle later.
+func (s *RotatingSource) beginSlot(now sim.Time) {
+	if !s.running {
+		return
+	}
+	s.inSlot = true
+	s.slots++
+	cycle := sim.Time(int64(s.cfg.SlotLength) * int64(s.cfg.Groups))
+	s.net.Scheduler().ScheduleAt(now+s.cfg.SlotLength, func(sim.Time) { s.inSlot = false })
+	s.phaseEvent = s.net.Scheduler().ScheduleAt(now+cycle, s.beginSlot)
+	// A send gap longer than the off-period leaves the previous chain's
+	// timer pending into this slot; cancel it so exactly one send chain is
+	// ever live and the rate cannot compound across cycles.
+	s.sendEvent.Cancel()
+	s.sendEvent = s.net.Scheduler().ScheduleHandlerAt(now, s)
+}
+
+// sendNext emits packets while the flow's slot lasts.
+func (s *RotatingSource) sendNext(sim.Time) {
+	if !s.running || !s.inSlot {
+		return
+	}
+	s.seq++
+	s.sent++
+	emitAttackPacket(s.net, s.host, s.label, s.labelHash, s.id, s.seq, s.cfg.PacketSize)
+
+	gap := float64(sim.Second) / s.cfg.PeakRate
+	if s.rng != nil {
+		gap = s.rng.Jitter(gap, 0.05)
+	}
+	s.sendEvent = s.net.Scheduler().ScheduleHandlerAfter(sim.Time(gap), s)
+}

@@ -41,3 +41,35 @@ const DefaultAckSize = 40
 
 // victimPort is the destination port every flow targets on the victim.
 const victimPort = 80
+
+// attackSourceLabel returns the 4-tuple an attack flow stamps on its packets,
+// honouring the spoofing mode: forged addresses replace the zombie's own for
+// SpoofLegitimate and SpoofIllegal, SpoofNone keeps the real address.
+func attackSourceLabel(zombie *netsim.Host, victim netsim.IP, srcPort uint16, spoof SpoofMode, spoofedIP netsim.IP) netsim.FlowLabel {
+	src := zombie.PrimaryIP()
+	if (spoof == SpoofLegitimate || spoof == SpoofIllegal) && spoofedIP != 0 {
+		src = spoofedIP
+	}
+	return netsim.FlowLabel{
+		SrcIP:   src,
+		DstIP:   victim,
+		SrcPort: srcPort,
+		DstPort: victimPort,
+	}
+}
+
+// emitAttackPacket builds and sends one TCP-marked attack data packet. The
+// pulsing and rotating sources share it so their wire format cannot diverge.
+func emitAttackPacket(net *netsim.Network, host *netsim.Host, label netsim.FlowLabel, labelHash uint64, flowID int, seq int64, size int) {
+	pkt := net.NewPacket()
+	pkt.ID = net.NextPacketID()
+	pkt.Label = label
+	pkt.Kind = netsim.KindData
+	pkt.Proto = netsim.ProtoTCP
+	pkt.Seq = seq
+	pkt.Size = size
+	pkt.FlowID = flowID
+	pkt.Malicious = true
+	pkt.SetFlowHash(labelHash)
+	host.Send(pkt)
+}

@@ -52,6 +52,42 @@ type WorkloadSpec struct {
 	// flooding when AttackPulsePeriod is set. Zero means 0.2.
 	AttackDutyCycle float64
 
+	// AttackGroups, when greater than one, turns the attack into a
+	// rolling pulse: attack flows are partitioned into this many groups
+	// and exactly one group floods at a time, handing off every
+	// AttackRotationPeriod. Rolling pulses shift the hot source routers
+	// between measurement epochs, attacking per-router baseline
+	// detectors directly. Takes precedence over AttackPulsePeriod.
+	AttackGroups int
+	// AttackRotationPeriod is the slot length of the rolling pulse; it
+	// must be positive when AttackGroups > 1.
+	AttackRotationPeriod sim.Time
+
+	// AttackRateMix, when non-empty, makes the attack heterogeneous:
+	// attack flow i sends at AttackRate × AttackRateMix[i mod len]. Every
+	// multiplier must be positive. An empty mix keeps the uniform rate.
+	AttackRateMix []float64
+
+	// ExtraVictimShare is the fraction of attack flows aimed at the
+	// domain's extra victims (round-robin) instead of the primary victim,
+	// enabling simultaneous multi-victim floods. The domain must provide
+	// extra victims when the share is positive.
+	ExtraVictimShare float64
+
+	// FlashCrowdFlows adds this many extra legitimate TCP flows that all
+	// start inside FlashCrowdWindow after FlashCrowdStart — a flash crowd
+	// with no spoofing that a good defence must tell apart from an
+	// attack.
+	FlashCrowdFlows int
+	// FlashCrowdRate caps each flash-crowd flow's rate in packets/s;
+	// zero means LegitRate.
+	FlashCrowdRate float64
+	// FlashCrowdStart is when the flash crowd begins.
+	FlashCrowdStart sim.Time
+	// FlashCrowdWindow spreads the flash-crowd starts; zero means all
+	// flows start at FlashCrowdStart exactly.
+	FlashCrowdWindow sim.Time
+
 	// SpoofIllegalFraction is the fraction of attack flows that forge
 	// unroutable source addresses (dropped by MAFIC's PDT fast path).
 	SpoofIllegalFraction float64
@@ -132,6 +168,23 @@ func (s WorkloadSpec) Validate() error {
 	if s.SpoofIllegalFraction < 0 || s.SpoofLegitFraction < 0 || frac > 1.0+1e-9 {
 		return fmt.Errorf("%w: spoof fractions", ErrBadSpec)
 	}
+	if s.AttackGroups < 0 {
+		return fmt.Errorf("%w: attack groups %d", ErrBadSpec, s.AttackGroups)
+	}
+	if s.AttackRotationPeriod < 0 || (s.AttackGroups > 1 && s.AttackRotationPeriod == 0) {
+		return fmt.Errorf("%w: rotation period %v with %d groups", ErrBadSpec, s.AttackRotationPeriod, s.AttackGroups)
+	}
+	for _, m := range s.AttackRateMix {
+		if m <= 0 {
+			return fmt.Errorf("%w: rate-mix multiplier %v", ErrBadSpec, m)
+		}
+	}
+	if s.ExtraVictimShare < 0 || s.ExtraVictimShare > 1 {
+		return fmt.Errorf("%w: extra victim share %v", ErrBadSpec, s.ExtraVictimShare)
+	}
+	if s.FlashCrowdFlows < 0 || s.FlashCrowdRate < 0 || s.FlashCrowdStart < 0 || s.FlashCrowdWindow < 0 {
+		return fmt.Errorf("%w: flash crowd parameters", ErrBadSpec)
+	}
 	return nil
 }
 
@@ -139,22 +192,45 @@ func (s WorkloadSpec) Validate() error {
 type Workload struct {
 	// Victim is the server installed on the victim host.
 	Victim *VictimServer
+	// ExtraServers are the servers installed on extra victim hosts when
+	// the spec aims part of the attack at them.
+	ExtraServers []*VictimServer
 	// Flows is every flow, legitimate and attack.
 	Flows []Flow
-	// Legitimate and Attack partition Flows.
+	// Legitimate and Attack partition Flows. Flash-crowd flows count as
+	// legitimate.
 	Legitimate []Flow
 	Attack     []Flow
+	// Flash is the subset of Legitimate that belongs to the flash crowd;
+	// these flows start at the flash-crowd instant rather than inside the
+	// regular start window.
+	Flash []Flow
 }
 
 // StartAll schedules every flow: legitimate flows spread over the spec's
-// start window, attack flows at the attack start time.
+// start window, flash-crowd flows inside the flash-crowd window, and attack
+// flows at the attack start time.
 func (w *Workload) StartAll(spec WorkloadSpec, rng *sim.RNG) {
+	flash := make(map[Flow]bool, len(w.Flash))
+	for _, f := range w.Flash {
+		flash[f] = true
+	}
 	for _, f := range w.Legitimate {
+		if flash[f] {
+			continue
+		}
 		offset := sim.Time(0)
 		if spec.StartWindow > 0 {
 			offset = sim.Time(rng.Intn(int(spec.StartWindow)))
 		}
 		f.Start(spec.LegitStart + offset)
+	}
+	for _, f := range w.Flash {
+		offset := sim.Time(0)
+		if spec.FlashCrowdWindow > 0 {
+			offset = sim.Time(rng.Intn(int(spec.FlashCrowdWindow)))
+		}
+		f.Start(spec.FlashCrowdStart + offset)
 	}
 	for _, f := range w.Attack {
 		f.Start(spec.AttackStart)
@@ -196,11 +272,12 @@ func BuildWorkload(spec WorkloadSpec, d *topology.Domain, rng *sim.RNG) (*Worklo
 	flowID := 0
 	nextPort := func() uint16 { return uint16(10000 + flowID) }
 
-	for i := 0; i < tcpCount; i++ {
-		host := d.Clients[i%len(d.Clients)]
+	// newLegitTCP builds one legitimate responsive flow; baseline and
+	// flash-crowd flows share it so their TCP behaviour cannot diverge.
+	newLegitTCP := func(host *netsim.Host, maxRate float64) Flow {
 		cfg := TCPConfig{
 			RTT:                spec.RTT,
-			MaxRate:            spec.LegitRate,
+			MaxRate:            maxRate,
 			InitialWindow:      2,
 			SlowStartThreshold: 16,
 			PacketSize:         spec.PacketSize,
@@ -209,6 +286,11 @@ func BuildWorkload(spec WorkloadSpec, d *topology.Domain, rng *sim.RNG) (*Worklo
 		flowID++
 		w.Flows = append(w.Flows, f)
 		w.Legitimate = append(w.Legitimate, f)
+		return f
+	}
+
+	for i := 0; i < tcpCount; i++ {
+		newLegitTCP(d.Clients[i%len(d.Clients)], spec.LegitRate)
 	}
 
 	for i := 0; i < udpCount; i++ {
@@ -218,6 +300,36 @@ func BuildWorkload(spec WorkloadSpec, d *topology.Domain, rng *sim.RNG) (*Worklo
 		flowID++
 		w.Flows = append(w.Flows, f)
 		w.Legitimate = append(w.Legitimate, f)
+	}
+
+	// Flash-crowd flows: extra legitimate TCP sources that all arrive in
+	// a burst. They use client hosts round-robin like the baseline TCP
+	// flows and are tracked separately so StartAll can release them at
+	// the flash-crowd instant.
+	for i := 0; i < spec.FlashCrowdFlows; i++ {
+		rate := spec.FlashCrowdRate
+		if rate <= 0 {
+			rate = spec.LegitRate
+		}
+		f := newLegitTCP(d.Clients[(tcpCount+i)%len(d.Clients)], rate)
+		w.Flash = append(w.Flash, f)
+	}
+
+	// Multi-victim floods: the trailing share of attack flows aims at the
+	// domain's extra victims instead of the primary one. Each targeted
+	// extra victim gets its own server so the flood it absorbs behaves
+	// like real victim traffic.
+	extraAim := int(math.Round(spec.ExtraVictimShare * float64(attackCount)))
+	var extraIPs []netsim.IP
+	if extraAim > 0 {
+		if len(d.ExtraVictims) == 0 {
+			return nil, fmt.Errorf("%w: extra victim share %v but domain has no extra victims",
+				ErrBadSpec, spec.ExtraVictimShare)
+		}
+		for _, v := range d.ExtraVictims {
+			w.ExtraServers = append(w.ExtraServers, NewVictimServer(v, DefaultAckSize))
+			extraIPs = append(extraIPs, v.PrimaryIP())
+		}
 	}
 
 	spoofPool := d.SpoofPool()
@@ -238,26 +350,47 @@ func BuildWorkload(spec WorkloadSpec, d *topology.Domain, rng *sim.RNG) (*Worklo
 			spoofedIP = spoofPool[i%len(spoofPool)]
 		}
 
+		target := victimIP
+		if n := attackCount - extraAim; i >= n && len(extraIPs) > 0 {
+			target = extraIPs[(i-n)%len(extraIPs)]
+		}
+		rate := spec.AttackRate
+		if len(spec.AttackRateMix) > 0 {
+			rate *= spec.AttackRateMix[i%len(spec.AttackRateMix)]
+		}
+
 		var f Flow
-		if spec.AttackPulsePeriod > 0 {
+		switch {
+		case spec.AttackGroups > 1:
+			rcfg := RotatingConfig{
+				PeakRate:   rate,
+				SlotLength: spec.AttackRotationPeriod,
+				Groups:     spec.AttackGroups,
+				Group:      i % spec.AttackGroups,
+				PacketSize: spec.PacketSize,
+				Spoof:      spoof,
+				SpoofedIP:  spoofedIP,
+			}
+			f = NewRotatingSource(flowID, rcfg, zombie, target, nextPort(), rng.Fork())
+		case spec.AttackPulsePeriod > 0:
 			pcfg := PulsingConfig{
-				PeakRate:   spec.AttackRate,
+				PeakRate:   rate,
 				Period:     spec.AttackPulsePeriod,
 				DutyCycle:  spec.AttackDutyCycle,
 				PacketSize: spec.PacketSize,
 				Spoof:      spoof,
 				SpoofedIP:  spoofedIP,
 			}
-			f = NewPulsingSource(flowID, pcfg, zombie, victimIP, nextPort(), rng.Fork())
-		} else {
+			f = NewPulsingSource(flowID, pcfg, zombie, target, nextPort(), rng.Fork())
+		default:
 			cfg := AttackConfig{
-				Rate:       spec.AttackRate,
+				Rate:       rate,
 				PacketSize: spec.PacketSize,
 				Jitter:     0.05,
 				Spoof:      spoof,
 				SpoofedIP:  spoofedIP,
 			}
-			f = NewAttackSource(flowID, cfg, zombie, victimIP, nextPort(), rng.Fork())
+			f = NewAttackSource(flowID, cfg, zombie, target, nextPort(), rng.Fork())
 		}
 		flowID++
 		w.Flows = append(w.Flows, f)

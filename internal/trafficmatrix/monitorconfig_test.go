@@ -1,0 +1,39 @@
+package trafficmatrix
+
+import (
+	"errors"
+	"testing"
+
+	"mafic/internal/sim"
+)
+
+func TestMonitorConfigValidate(t *testing.T) {
+	good := MonitorConfig{Epoch: 100 * sim.Millisecond}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	good.Buckets = 256
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid bucket count rejected: %v", err)
+	}
+	// The zero value selects the package defaults, as NewMonitor does.
+	if err := (MonitorConfig{}).Validate(); err != nil {
+		t.Fatalf("zero config must be valid: %v", err)
+	}
+	tests := []struct {
+		name string
+		cfg  MonitorConfig
+	}{
+		{"negative epoch", MonitorConfig{Epoch: -sim.Second}},
+		{"non-power-of-two buckets", MonitorConfig{Epoch: sim.Second, Buckets: 100}},
+		{"buckets too small", MonitorConfig{Epoch: sim.Second, Buckets: 8}},
+		{"buckets too large", MonitorConfig{Epoch: sim.Second, Buckets: 1 << 20}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.cfg.Validate(); !errors.Is(err, ErrMonitorConfig) {
+				t.Fatalf("want ErrMonitorConfig, got %v", err)
+			}
+		})
+	}
+}

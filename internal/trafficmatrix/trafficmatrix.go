@@ -11,6 +11,7 @@
 package trafficmatrix
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -169,6 +170,24 @@ type MonitorConfig struct {
 	// loglog.DefaultBuckets.
 	Buckets int
 }
+
+// Validate reports configuration problems. Zero values are valid — they
+// select the package defaults, exactly as NewMonitor treats them; anything
+// else must be a positive epoch and a legal LogLog bucket count.
+func (c MonitorConfig) Validate() error {
+	if c.Epoch < 0 {
+		return fmt.Errorf("%w: epoch %v must not be negative", ErrMonitorConfig, c.Epoch)
+	}
+	if c.Buckets != 0 {
+		if _, err := loglog.New(c.Buckets); err != nil {
+			return fmt.Errorf("%w: %v", ErrMonitorConfig, err)
+		}
+	}
+	return nil
+}
+
+// ErrMonitorConfig is returned by MonitorConfig.Validate.
+var ErrMonitorConfig = errors.New("trafficmatrix: invalid monitor config")
 
 // NewMonitor creates a monitor and attaches a counter to every router of the
 // network. The onReport callback receives each epoch's traffic matrix.

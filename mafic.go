@@ -57,6 +57,9 @@ type (
 	SweepOptions = experiment.SweepOptions
 	// DefenseKind selects MAFIC, the proportional baseline, or no defence.
 	DefenseKind = experiment.DefenseKind
+	// ScenarioEntry is one named scenario in the adversarial workload
+	// catalog (see Scenarios).
+	ScenarioEntry = experiment.Entry
 )
 
 // Defence selection for Scenario.Defense.
@@ -96,6 +99,20 @@ func DefaultScenario() Scenario { return experiment.DefaultScenario() }
 // generation, set-union counting detection, ATR identification, and adaptive
 // dropping — and returns its metrics.
 func Simulate(s Scenario) (Result, error) { return experiment.Run(s) }
+
+// Scenarios returns the registered scenario catalog — the paper's Table II
+// default plus the adversarial workloads (multi-victim floods, rolling
+// pulses, flash crowds, heterogeneous rate mixes, shrew pulses, alternative
+// topologies) — sorted by name.
+func Scenarios() []ScenarioEntry { return experiment.Entries() }
+
+// LookupScenario returns the catalog entry registered under name.
+func LookupScenario(name string) (ScenarioEntry, bool) { return experiment.LookupScenario(name) }
+
+// QuickScenario returns a scaled-down copy of a scenario that exercises the
+// same pipeline in a fraction of the events; the golden-run regression tests
+// pin exactly these variants.
+func QuickScenario(s Scenario) Scenario { return experiment.Quick(s) }
 
 // GenerateFigure regenerates the named figure panel of the paper's
 // evaluation (for example "3a" for the accuracy-versus-volume plot).
