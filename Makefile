@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet check golden bench bench-baseline
+.PHONY: all build test vet check golden bench bench-baseline bench-diff
 
 all: build test
 
@@ -37,3 +37,9 @@ bench:
 # PR that changes engine performance so the next PR measures against it.
 bench-baseline:
 	$(GO) run ./cmd/maficbench -out BENCH_baseline.json
+
+# bench-diff is the performance regression gate: it re-measures every figure
+# benchmark, prints a comparison table against the tracked baseline, and
+# exits non-zero if any benchmark's ns/op or allocs/op grew by more than 10%.
+bench-diff:
+	$(GO) run ./cmd/maficbench -out BENCH_current.json -diff BENCH_baseline.json

@@ -64,6 +64,27 @@ func BenchmarkTable2Defaults(b *testing.B) {
 	}
 }
 
+// BenchmarkStress1k runs the quick variant of the 1000-router multi-victim
+// scale scenario: one full build-measure-defend cycle at 25x the paper's
+// domain size per iteration.
+func BenchmarkStress1k(b *testing.B) {
+	e, ok := experiment.LookupScenario("stress-1k")
+	if !ok {
+		b.Fatal("stress-1k scenario not registered")
+	}
+	s := experiment.Quick(e.Build())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.Run(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Activated {
+			b.Fatal("defense never activated")
+		}
+	}
+}
+
 // BenchmarkFig3aAccuracyVsVolumeByPd regenerates Figure 3(a).
 func BenchmarkFig3aAccuracyVsVolumeByPd(b *testing.B) { benchFigure(b, experiment.FigureF3a) }
 

@@ -81,6 +81,23 @@ var benchmarks = []struct {
 			}
 		}
 	}},
+	{name: "stress-1k", fn: func(b *testing.B) {
+		e, ok := experiment.LookupScenario("stress-1k")
+		if !ok {
+			b.Fatal("stress-1k scenario not registered")
+		}
+		s := experiment.Quick(e.Build())
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := experiment.Run(s)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.Activated {
+				b.Fatal("defense never activated")
+			}
+		}
+	}},
 	{name: "fig3a", fn: figureBench(experiment.FigureF3a)},
 	{name: "fig3b", fn: figureBench(experiment.FigureF3b)},
 	{name: "fig4a", fn: figureBench(experiment.FigureF4a)},
@@ -112,9 +129,66 @@ func figureBench(id experiment.FigureID) func(b *testing.B) {
 	}
 }
 
+// compareAgainst checks the freshly measured report against a tracked
+// baseline and returns the number of regressions: benchmarks whose ns/op or
+// allocs/op exceed the baseline by more than tolerance (a fraction, e.g.
+// 0.10 for 10%). Benchmarks missing from the baseline (newly added) are
+// reported but never count as regressions; benchmarks present only in the
+// baseline are flagged so silent coverage loss is visible.
+func compareAgainst(baselinePath string, report BenchReport, tolerance float64) (int, error) {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return 0, fmt.Errorf("read baseline: %w", err)
+	}
+	var baseline BenchReport
+	if err := json.Unmarshal(data, &baseline); err != nil {
+		return 0, fmt.Errorf("parse baseline %s: %w", baselinePath, err)
+	}
+	base := make(map[string]BenchResult, len(baseline.Results))
+	for _, r := range baseline.Results {
+		base[r.Name] = r
+	}
+
+	regressions := 0
+	seen := make(map[string]bool, len(report.Results))
+	fmt.Fprintf(os.Stderr, "%-20s %14s %14s %9s %12s %12s %9s\n",
+		"benchmark", "base ns/op", "ns/op", "Δ", "base allocs", "allocs", "Δ")
+	for _, r := range report.Results {
+		seen[r.Name] = true
+		b, ok := base[r.Name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "%-20s %14s %14.0f %9s %12s %12d %9s  (new, no baseline)\n",
+				r.Name, "-", r.NsPerOp, "-", "-", r.AllocsPerOp, "-")
+			continue
+		}
+		nsDelta := r.NsPerOp/b.NsPerOp - 1
+		allocDelta := 0.0
+		if b.AllocsPerOp > 0 {
+			allocDelta = float64(r.AllocsPerOp)/float64(b.AllocsPerOp) - 1
+		} else if r.AllocsPerOp > 0 {
+			allocDelta = 1
+		}
+		verdict := ""
+		if nsDelta > tolerance || allocDelta > tolerance {
+			verdict = "  REGRESSION"
+			regressions++
+		}
+		fmt.Fprintf(os.Stderr, "%-20s %14.0f %14.0f %+8.1f%% %12d %12d %+8.1f%%%s\n",
+			r.Name, b.NsPerOp, r.NsPerOp, nsDelta*100, b.AllocsPerOp, r.AllocsPerOp, allocDelta*100, verdict)
+	}
+	for _, b := range baseline.Results {
+		if !seen[b.Name] {
+			fmt.Fprintf(os.Stderr, "%-20s: present in baseline but not measured\n", b.Name)
+		}
+	}
+	return regressions, nil
+}
+
 func main() {
 	out := flag.String("out", "", "write the JSON report to this file instead of stdout")
 	only := flag.String("benchmarks", "", "comma-separated benchmark names to run (default: all)")
+	diff := flag.String("diff", "", "compare against this baseline JSON and exit non-zero on regression")
+	tolerance := flag.Float64("tolerance", 0.10, "with -diff: allowed fractional growth in ns/op or allocs/op")
 	flag.Parse()
 
 	known := map[string]bool{}
@@ -125,7 +199,7 @@ func main() {
 	for _, name := range strings.Split(*only, ",") {
 		if name = strings.TrimSpace(name); name != "" {
 			if !known[name] {
-				fmt.Fprintf(os.Stderr, "maficbench: unknown benchmark %q (known: table2, fig3a..fig7, ablation-*)\n", name)
+				fmt.Fprintf(os.Stderr, "maficbench: unknown benchmark %q (known: table2, stress-1k, fig3a..fig7, ablation-*)\n", name)
 				os.Exit(2)
 			}
 			selected[name] = true
@@ -161,10 +235,22 @@ func main() {
 	enc = append(enc, '\n')
 	if *out == "" {
 		os.Stdout.Write(enc)
-		return
-	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "write report:", err)
 		os.Exit(1)
+	}
+
+	if *diff != "" {
+		regressions, err := compareAgainst(*diff, report, *tolerance)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "maficbench:", err)
+			os.Exit(1)
+		}
+		if regressions > 0 {
+			fmt.Fprintf(os.Stderr, "maficbench: %d benchmark(s) regressed beyond %.0f%% vs %s\n",
+				regressions, *tolerance*100, *diff)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "maficbench: no regressions beyond %.0f%% vs %s\n", *tolerance*100, *diff)
 	}
 }

@@ -69,7 +69,7 @@ func run() error {
 	report := monitor.Compute(sched.Now())
 	fmt.Println("set-union counting traffic matrix (one epoch)")
 	fmt.Printf("victim router |D_j| estimate: %.0f distinct packets (ground truth %d)\n",
-		report.DestEstimates[domain.LastHop.ID()], 2700)
+		report.DestEstimate(domain.LastHop.ID()), 2700)
 	fmt.Println("top contributors toward the victim router:")
 	for _, cell := range report.TopSources(domain.LastHop.ID()) {
 		var truth int

@@ -1,0 +1,56 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+
+	"mafic/internal/topology"
+)
+
+// TestBufferReuseInvariance runs every registered scenario (quick mode) down
+// both refactor paths — pooled epoch-report buffers + a shared topology arena
+// versus fresh buffers + fresh builds — and requires bit-identical results.
+// This is the guarantee that makes the zero-alloc pipeline safe: buffer reuse
+// can never leak state between epochs or between sweep points.
+func TestBufferReuseInvariance(t *testing.T) {
+	// One arena deliberately shared across every scenario in the catalog,
+	// mimicking a sweep worker that rebuilds wildly different topologies
+	// back to back.
+	arena := topology.NewArena()
+
+	for _, e := range Entries() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			pooled := Quick(e.Build())
+			fresh := Quick(e.Build())
+			fresh.Monitor.FreshBuffers = true
+
+			gotPooled, err := runWith(pooled, arena)
+			if err != nil {
+				t.Fatalf("pooled run: %v", err)
+			}
+			gotFresh, err := runWith(fresh, nil)
+			if err != nil {
+				t.Fatalf("fresh run: %v", err)
+			}
+
+			// Every metric, counter and time-series bin must match
+			// exactly — tolerances would hide pooling leaks.
+			if !reflect.DeepEqual(gotPooled, gotFresh) {
+				t.Errorf("pooled and fresh runs diverge")
+				if gotPooled.Counts != gotFresh.Counts {
+					t.Errorf("counts: pooled %+v, fresh %+v", gotPooled.Counts, gotFresh.Counts)
+				}
+				if gotPooled.EventsProcessed != gotFresh.EventsProcessed {
+					t.Errorf("events: pooled %d, fresh %d", gotPooled.EventsProcessed, gotFresh.EventsProcessed)
+				}
+				if gotPooled.Accuracy != gotFresh.Accuracy {
+					t.Errorf("accuracy: pooled %v, fresh %v", gotPooled.Accuracy, gotFresh.Accuracy)
+				}
+				if gotPooled.ATRCount != gotFresh.ATRCount {
+					t.Errorf("ATRs: pooled %d, fresh %d", gotPooled.ATRCount, gotFresh.ATRCount)
+				}
+			}
+		})
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"mafic/internal/topology"
 )
 
 // RunMany executes every scenario and returns the results in input order.
@@ -26,8 +28,11 @@ func RunMany(scenarios []Scenario, workers int) ([]Result, error) {
 	errs := make([]error, len(scenarios))
 
 	if workers <= 1 {
+		// One arena serves every point: consecutive builds reuse the
+		// topology backing arrays (each domain dies with its run).
+		arena := topology.NewArena()
 		for i := range scenarios {
-			if results[i], errs[i] = Run(scenarios[i]); errs[i] != nil {
+			if results[i], errs[i] = runWith(scenarios[i], arena); errs[i] != nil {
 				return nil, errs[i]
 			}
 		}
@@ -41,6 +46,9 @@ func RunMany(scenarios []Scenario, workers int) ([]Result, error) {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			// Arenas are single-owner: one per worker, reused across
+			// every point the worker claims.
+			arena := topology.NewArena()
 			for {
 				// Fail fast like the serial path: once any point has
 				// errored, stop claiming new work (in-flight points
@@ -52,7 +60,7 @@ func RunMany(scenarios []Scenario, workers int) ([]Result, error) {
 				if i >= len(scenarios) {
 					return
 				}
-				if results[i], errs[i] = Run(scenarios[i]); errs[i] != nil {
+				if results[i], errs[i] = runWith(scenarios[i], arena); errs[i] != nil {
 					failed.Store(true)
 				}
 			}

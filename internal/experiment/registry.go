@@ -85,19 +85,32 @@ func Entries() []Entry {
 	return out
 }
 
+// stressScaleRouters marks the boundary between ordinary scenarios and
+// scale proofs: at or above this router count the domain size IS the point
+// of the scenario, so Quick keeps it and shrinks only time and traffic.
+const stressScaleRouters = 600
+
 // Quick returns a scaled-down copy of s that exercises the same pipeline —
 // same adversary strategy, same detection and defence path — in a fraction
 // of the events. Tests and golden-run fixtures use it so the whole catalog
-// re-runs in well under a second.
+// re-runs quickly. Stress-class scenarios (router count at or above
+// stressScaleRouters) keep their full domain: their quick variant still
+// builds and measures a 1000-router network, only the simulated time and
+// flow volume shrink.
 func Quick(s Scenario) Scenario {
-	if s.Topology.Style == topology.StyleTransitStub {
+	switch {
+	case s.Topology.NumRouters >= stressScaleRouters:
+		// Keep the router graph; trim the host population.
+		s.Topology.BystanderHosts = 16
+	case s.Topology.Style == topology.StyleTransitStub:
 		s.Topology.NumRouters = 18
 		s.Topology.TransitRouters = 3
-	} else {
+		s.Topology.BystanderHosts = 8
+	default:
 		s.Topology.NumRouters = 16
 		s.Topology.ExtraChords = 4
+		s.Topology.BystanderHosts = 8
 	}
-	s.Topology.BystanderHosts = 8
 	if s.Workload.TotalFlows > 30 {
 		s.Workload.TotalFlows = 30
 	}
@@ -196,5 +209,21 @@ func init() {
 		"victim is dual-homed, splitting its inbound flood across two last-hop routers",
 		func(s *Scenario) {
 			s.Topology.MultiHomedVictim = true
+		}))
+
+	MustRegister(builtin("stress-1k",
+		"scale proof: 1000-router ring with 300 chords, 40 ingress routers, three simultaneous victims — exercises the topology arena and zero-alloc epoch pipeline at 25x the paper's domain size",
+		func(s *Scenario) {
+			s.Topology.NumRouters = 1000
+			s.Topology.NumIngress = 40
+			// Dense chording keeps shortest paths short (tens of hops at
+			// most) so per-packet event counts stay bounded while the
+			// measurement layer still runs 1000 counters per epoch.
+			s.Topology.ExtraChords = 300
+			s.Topology.BystanderHosts = 32
+			s.Topology.ExtraVictims = 2
+			s.Workload.TotalFlows = 80
+			s.Workload.TCPShare = 0.80
+			s.Workload.ExtraVictimShare = 0.3
 		}))
 }

@@ -24,13 +24,24 @@ type defense interface {
 
 // Run executes one scenario and returns its metrics.
 func Run(s Scenario) (Result, error) {
+	return runWith(s, nil)
+}
+
+// runWith executes one scenario, building its topology through the given
+// arena when one is supplied. Sweep workers (RunMany) pass a per-worker arena
+// so consecutive points reuse the topology-construction backing arrays; the
+// result is bit-identical either way (the golden invariance tests pin this).
+func runWith(s Scenario, arena *topology.Arena) (Result, error) {
 	if err := s.Validate(); err != nil {
 		return Result{}, err
+	}
+	if arena == nil {
+		arena = topology.NewArena()
 	}
 	rng := sim.NewRNG(s.Seed)
 	sched := sim.NewScheduler()
 
-	domain, err := topology.Build(s.Topology, sched, rng.Fork())
+	domain, err := arena.Build(s.Topology, sched, rng.Fork())
 	if err != nil {
 		return Result{}, fmt.Errorf("build topology: %w", err)
 	}

@@ -93,6 +93,12 @@ func (s *Sketch) Add(item uint64) {
 // the Durand–Flajolet LogLog estimator with small-range linear counting to
 // stay accurate for sparse sketches.
 func (s *Sketch) Estimate() float64 {
+	// An untouched sketch has every bucket at zero; linear counting would
+	// return exactly 0, so skip the bucket scan. This makes per-epoch
+	// estimation cheap on large domains where most routers are idle.
+	if s.adds == 0 {
+		return 0
+	}
 	sum := 0.0
 	zero := 0
 	for _, b := range s.buckets {
@@ -132,6 +138,36 @@ func (s *Sketch) Clone() *Sketch {
 	return cp
 }
 
+// CopyFrom overwrites s with other's contents without allocating. It is the
+// steady-state replacement for Clone when the caller owns reusable storage.
+func (s *Sketch) CopyFrom(other *Sketch) error {
+	if other == nil || other.m != s.m {
+		return ErrIncompatible
+	}
+	copy(s.buckets, other.buckets)
+	s.adds = other.adds
+	return nil
+}
+
+// MergeInto sets dst to the bucket-wise max union of a and b without touching
+// either input and without allocating: dst is caller-owned storage, typically
+// a scratch sketch reused across many union computations.
+func MergeInto(dst, a, b *Sketch) error {
+	if dst == nil || a == nil || b == nil || a.m != dst.m || b.m != dst.m {
+		return ErrIncompatible
+	}
+	db, ab, bb := dst.buckets, a.buckets, b.buckets
+	for i := range db {
+		av, bv := ab[i], bb[i]
+		if bv > av {
+			av = bv
+		}
+		db[i] = av
+	}
+	dst.adds = a.adds + b.adds
+	return nil
+}
+
 // Reset clears the sketch for reuse in the next measurement epoch.
 func (s *Sketch) Reset() {
 	for i := range s.buckets {
@@ -152,12 +188,36 @@ func UnionEstimate(a, b *Sketch) (float64, error) {
 	return u.Estimate(), nil
 }
 
+// UnionEstimateInto estimates |A ∪ B| like UnionEstimate but builds the union
+// in the caller-owned scratch sketch instead of cloning, so repeated matrix
+// computations allocate nothing. The scratch contents are overwritten.
+func UnionEstimateInto(scratch, a, b *Sketch) (float64, error) {
+	if err := MergeInto(scratch, a, b); err != nil {
+		return 0, err
+	}
+	return scratch.Estimate(), nil
+}
+
 // IntersectionEstimate estimates |A ∩ B| by inclusion–exclusion,
 // |A| + |B| − |A ∪ B|, clamped at zero. This is exactly the transformation
 // the paper uses to turn the traffic-matrix intersection into a union
 // computation (Section II).
 func IntersectionEstimate(a, b *Sketch) (float64, error) {
 	union, err := UnionEstimate(a, b)
+	if err != nil {
+		return 0, err
+	}
+	est := a.Estimate() + b.Estimate() - union
+	if est < 0 {
+		est = 0
+	}
+	return est, nil
+}
+
+// IntersectionEstimateInto is IntersectionEstimate computed through a
+// caller-owned scratch sketch: no allocation per call.
+func IntersectionEstimateInto(scratch, a, b *Sketch) (float64, error) {
+	union, err := UnionEstimateInto(scratch, a, b)
 	if err != nil {
 		return 0, err
 	}

@@ -1,0 +1,211 @@
+package loglog
+
+import (
+	"testing"
+)
+
+func TestCopyFrom(t *testing.T) {
+	a := MustNew(64)
+	for i := uint64(0); i < 500; i++ {
+		a.Add(i)
+	}
+	b := MustNew(64)
+	if err := b.CopyFrom(a); err != nil {
+		t.Fatalf("CopyFrom: %v", err)
+	}
+	if b.Estimate() != a.Estimate() {
+		t.Fatalf("copy estimate %v != source %v", b.Estimate(), a.Estimate())
+	}
+	if b.Adds() != a.Adds() {
+		t.Fatalf("copy adds %d != source %d", b.Adds(), a.Adds())
+	}
+	// The copy must be independent of the source.
+	b.Add(1 << 40)
+	if b.Adds() == a.Adds() {
+		t.Fatal("copy shares state with source")
+	}
+	if err := MustNew(128).CopyFrom(a); err == nil {
+		t.Fatal("CopyFrom across bucket counts must fail")
+	}
+	if err := b.CopyFrom(nil); err == nil {
+		t.Fatal("CopyFrom(nil) must fail")
+	}
+}
+
+func TestMergeIntoMatchesCloneMerge(t *testing.T) {
+	a, b := MustNew(256), MustNew(256)
+	for i := uint64(0); i < 1000; i++ {
+		a.Add(i)
+	}
+	for i := uint64(500); i < 1500; i++ {
+		b.Add(i)
+	}
+	want := a.Clone()
+	if err := want.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	dst := MustNew(256)
+	if err := MergeInto(dst, a, b); err != nil {
+		t.Fatalf("MergeInto: %v", err)
+	}
+	if dst.Estimate() != want.Estimate() {
+		t.Fatalf("MergeInto estimate %v != Clone+Merge %v", dst.Estimate(), want.Estimate())
+	}
+	if dst.Adds() != want.Adds() {
+		t.Fatalf("MergeInto adds %d != Clone+Merge %d", dst.Adds(), want.Adds())
+	}
+	if err := MergeInto(MustNew(64), a, b); err == nil {
+		t.Fatal("MergeInto with incompatible dst must fail")
+	}
+	if err := MergeInto(dst, nil, b); err == nil {
+		t.Fatal("MergeInto with nil input must fail")
+	}
+}
+
+func TestIntoEstimatorsMatchAllocatingOnes(t *testing.T) {
+	a, b := MustNew(512), MustNew(512)
+	for i := uint64(0); i < 2000; i++ {
+		a.Add(i * 3)
+	}
+	for i := uint64(0); i < 2000; i++ {
+		b.Add(i * 5)
+	}
+	scratch := MustNew(512)
+
+	wantU, err := UnionEstimate(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotU, err := UnionEstimateInto(scratch, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotU != wantU {
+		t.Fatalf("UnionEstimateInto %v != UnionEstimate %v", gotU, wantU)
+	}
+
+	wantI, err := IntersectionEstimate(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotI, err := IntersectionEstimateInto(scratch, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotI != wantI {
+		t.Fatalf("IntersectionEstimateInto %v != IntersectionEstimate %v", gotI, wantI)
+	}
+}
+
+func TestPairSwapFreezesEpoch(t *testing.T) {
+	p, err := NewPair(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 300; i++ {
+		p.Active().Add(i)
+	}
+	epochEst := p.Active().Estimate()
+
+	p.Swap()
+	if got := p.Shadow().Estimate(); got != epochEst {
+		t.Fatalf("shadow estimate %v != frozen epoch %v", got, epochEst)
+	}
+	if got := p.Active().Estimate(); got != 0 {
+		t.Fatalf("new active must start empty, estimate %v", got)
+	}
+
+	// The next epoch accumulates independently of the frozen one.
+	for i := uint64(1000); i < 1100; i++ {
+		p.Active().Add(i)
+	}
+	if got := p.Shadow().Estimate(); got != epochEst {
+		t.Fatalf("recording into active disturbed the shadow: %v != %v", got, epochEst)
+	}
+
+	p.Reset()
+	if p.Active().Estimate() != 0 || p.Shadow().Estimate() != 0 {
+		t.Fatal("Reset must clear both sides")
+	}
+}
+
+func TestPairOfValidation(t *testing.T) {
+	if _, err := PairOf(MustNew(64), MustNew(128)); err == nil {
+		t.Fatal("PairOf across bucket counts must fail")
+	}
+	if _, err := PairOf(nil, MustNew(64)); err == nil {
+		t.Fatal("PairOf(nil, ...) must fail")
+	}
+	p, err := PairOf(MustNew(64), MustNew(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Active().Add(7)
+	if p.Active().Adds() != 1 {
+		t.Fatal("assembled pair not recording")
+	}
+}
+
+func TestNewSlab(t *testing.T) {
+	sketches, err := NewSlab(8, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sketches) != 8 {
+		t.Fatalf("slab size %d, want 8", len(sketches))
+	}
+	// Sketches must be independent despite the shared backing.
+	for i := uint64(0); i < 100; i++ {
+		sketches[0].Add(i)
+	}
+	for i := 1; i < len(sketches); i++ {
+		if sketches[i].Estimate() != 0 {
+			t.Fatalf("sketch %d polluted by writes to sketch 0", i)
+		}
+	}
+	// A slab sketch must behave exactly like a New one.
+	ref := MustNew(64)
+	for i := uint64(0); i < 100; i++ {
+		ref.Add(i)
+	}
+	if sketches[0].Estimate() != ref.Estimate() {
+		t.Fatalf("slab sketch estimate %v != New sketch %v", sketches[0].Estimate(), ref.Estimate())
+	}
+	if _, err := NewSlab(4, 17); err == nil {
+		t.Fatal("NewSlab with bad bucket count must fail")
+	}
+	if _, err := NewSlab(-1, 64); err == nil {
+		t.Fatal("NewSlab with negative count must fail")
+	}
+}
+
+func TestEmptySketchEstimateFastPath(t *testing.T) {
+	s := MustNew(1024)
+	if got := s.Estimate(); got != 0 {
+		t.Fatalf("empty sketch estimate %v, want 0", got)
+	}
+	s.Add(42)
+	if got := s.Estimate(); got <= 0 {
+		t.Fatalf("non-empty sketch estimate %v, want > 0", got)
+	}
+	s.Reset()
+	if got := s.Estimate(); got != 0 {
+		t.Fatalf("reset sketch estimate %v, want 0", got)
+	}
+}
+
+func TestMergeIntoAllocFree(t *testing.T) {
+	a, b, dst := MustNew(1024), MustNew(1024), MustNew(1024)
+	for i := uint64(0); i < 100; i++ {
+		a.Add(i)
+		b.Add(i + 50)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := IntersectionEstimateInto(dst, a, b); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("IntersectionEstimateInto allocates %v per call, want 0", allocs)
+	}
+}

@@ -67,6 +67,9 @@ func (h *Host) AccessRouter() NodeID { return h.accessRouter }
 
 // Register installs a handler for packets carrying the given label.
 func (h *Host) Register(label FlowLabel, fn PacketHandler) {
+	if h.handlers == nil {
+		h.handlers = make(map[FlowLabel]PacketHandler)
+	}
 	h.handlers[label] = fn
 }
 

@@ -63,10 +63,78 @@ type Network struct {
 	nextNodeID NodeID
 	nextPktID  uint64
 
+	// sizeHint is the expected final node count set by Reserve; dense
+	// per-node tables (adjacency rows, route tables) are allocated at this
+	// size up front when it is known.
+	sizeHint int
+
 	// pktFree is the packet free list; see NewPacket / FreePacket.
 	pktFree []*Packet
 
+	// Object slabs: nodes, links and pool packets are carved out of
+	// chunk-allocated arrays instead of being allocated one by one, so
+	// domain construction costs O(objects/chunk) allocations. Chunks are
+	// never reallocated, keeping every handed-out pointer stable.
+	routerSlab []Router
+	routerUsed int
+	hostSlab   []Host
+	hostUsed   int
+	linkSlab   []Link
+	linkUsed   int
+
 	hooks Hooks
+}
+
+// Slab chunk sizes. Packets churn fastest and get the largest chunk.
+const (
+	pktChunk  = 256
+	nodeChunk = 64
+	linkChunk = 128
+)
+
+// nodeSlabSize picks the chunk size for a node slab: at least nodeChunk, at
+// most the nodes the reservation still expects. Routers are added before
+// hosts, so sizing by the remaining budget keeps each slab close to its
+// kind's actual population instead of the whole domain's.
+func (n *Network) nodeSlabSize() int {
+	size := nodeChunk
+	if remaining := n.sizeHint - len(n.nodes); remaining > size {
+		size = remaining
+	}
+	return size
+}
+
+// routerSlot carves a zeroed Router from the slab.
+func (n *Network) routerSlot() *Router {
+	if n.routerUsed == len(n.routerSlab) {
+		n.routerSlab = make([]Router, n.nodeSlabSize())
+		n.routerUsed = 0
+	}
+	r := &n.routerSlab[n.routerUsed]
+	n.routerUsed++
+	return r
+}
+
+// hostSlot carves a zeroed Host from the slab.
+func (n *Network) hostSlot() *Host {
+	if n.hostUsed == len(n.hostSlab) {
+		n.hostSlab = make([]Host, n.nodeSlabSize())
+		n.hostUsed = 0
+	}
+	h := &n.hostSlab[n.hostUsed]
+	n.hostUsed++
+	return h
+}
+
+// linkSlot carves a zeroed Link from the slab.
+func (n *Network) linkSlot() *Link {
+	if n.linkUsed == len(n.linkSlab) {
+		n.linkSlab = make([]Link, linkChunk)
+		n.linkUsed = 0
+	}
+	l := &n.linkSlab[n.linkUsed]
+	n.linkUsed++
+	return l
 }
 
 // New creates an empty network bound to the given scheduler and RNG.
@@ -104,14 +172,26 @@ func (n *Network) NextPacketID() uint64 {
 // handed to the network (Send, Deliver, Inject); the network recycles it at
 // its terminal point. See the package documentation for the ownership rules.
 func (n *Network) NewPacket() *Packet {
-	if last := len(n.pktFree) - 1; last >= 0 {
-		p := n.pktFree[last]
-		n.pktFree[last] = nil
-		n.pktFree = n.pktFree[:last]
-		*p = Packet{pooled: true}
-		return p
+	if len(n.pktFree) == 0 {
+		// Refill the free list from a fresh chunk: one allocation buys
+		// pktChunk packets. Chunk packets enter the list in the same
+		// state FreePacket leaves recycled ones in.
+		chunk := make([]Packet, pktChunk)
+		if cap(n.pktFree) < pktChunk {
+			n.pktFree = make([]*Packet, 0, pktChunk)
+		}
+		for i := range chunk {
+			chunk[i].pooled = true
+			chunk[i].freed = true
+			n.pktFree = append(n.pktFree, &chunk[i])
+		}
 	}
-	return &Packet{pooled: true}
+	last := len(n.pktFree) - 1
+	p := n.pktFree[last]
+	n.pktFree[last] = nil
+	n.pktFree = n.pktFree[:last]
+	*p = Packet{pooled: true}
+	return p
 }
 
 // FreePacket returns a pooled packet to the free list. Packets not obtained
@@ -140,27 +220,53 @@ func (n *Network) allocateNodeID() NodeID {
 	return id
 }
 
+// Reserve pre-sizes the node and adjacency tables for a domain of the given
+// node count. Topology builders that know their final size call it once so
+// the dense per-node tables are allocated at full size up front instead of
+// growing piecemeal. Reserving is purely an optimisation; the network works
+// identically without it.
+func (n *Network) Reserve(nodes int) {
+	if nodes <= len(n.nodes) {
+		return
+	}
+	grownNodes := make([]nodeSlot, len(n.nodes), nodes)
+	copy(grownNodes, n.nodes)
+	n.nodes = grownNodes
+	grownAdj := make([][]*Link, len(n.adj), nodes)
+	copy(grownAdj, n.adj)
+	n.adj = grownAdj
+	n.sizeHint = nodes
+}
+
 // AddRouter creates a router with the given human-readable name.
 func (n *Network) AddRouter(name string) *Router {
-	r := &Router{
-		net:    n,
-		id:     n.allocateNodeID(),
-		name:   name,
-		routes: make(map[NodeID]NodeID),
+	r := n.routerSlot()
+	*r = Router{
+		net:  n,
+		id:   n.allocateNodeID(),
+		name: name,
+	}
+	if n.sizeHint > 0 {
+		r.routes = make([]NodeID, n.sizeHint)
+		for i := range r.routes {
+			r.routes[i] = NoNode
+		}
 	}
 	n.routers[r.id] = r
 	n.nodes[r.id].router = r
 	return r
 }
 
-// AddHost creates a host owning the given addresses.
+// AddHost creates a host owning the given addresses. The per-label handler
+// table is created lazily on first Register, so pure-sink hosts (bystanders,
+// extra victims) never allocate one.
 func (n *Network) AddHost(name string, ips ...IP) *Host {
-	h := &Host{
-		net:      n,
-		id:       n.allocateNodeID(),
-		name:     name,
-		ips:      append([]IP(nil), ips...),
-		handlers: make(map[FlowLabel]PacketHandler),
+	h := n.hostSlot()
+	*h = Host{
+		net:  n,
+		id:   n.allocateNodeID(),
+		name: name,
+		ips:  append([]IP(nil), ips...),
 	}
 	n.hosts[h.id] = h
 	n.nodes[h.id].host = h
@@ -222,13 +328,25 @@ func (n *Network) Connect(from, to NodeID, cfg LinkConfig) (*Link, error) {
 	if n.LinkBetween(from, to) != nil {
 		return nil, fmt.Errorf("connect %d->%d: %w", from, to, ErrDuplicateLink)
 	}
-	l := &Link{net: n, from: from, to: to, cfg: cfg}
+	l := n.linkSlot()
+	*l = Link{net: n, from: from, to: to, cfg: cfg}
 	for int(from) >= len(n.adj) {
 		n.adj = append(n.adj, nil)
 	}
 	row := n.adj[from]
-	for int(to) >= len(row) {
-		row = append(row, nil)
+	if int(to) >= len(row) {
+		// Grow the row once to the reserved domain size (or the current
+		// node count) rather than element by element.
+		want := int(to) + 1
+		if n.sizeHint > want {
+			want = n.sizeHint
+		}
+		if nc := len(n.nodes); nc > want {
+			want = nc
+		}
+		grown := make([]*Link, want)
+		copy(grown, row)
+		row = grown
 	}
 	row[to] = l
 	n.adj[from] = row
@@ -264,17 +382,22 @@ func (n *Network) LinkBetween(a, b NodeID) *Link {
 // Neighbors returns the node IDs reachable over one outgoing link from id,
 // in ascending order.
 func (n *Network) Neighbors(id NodeID) []NodeID {
+	return n.AppendNeighbors(nil, id)
+}
+
+// AppendNeighbors appends id's neighbours (ascending) to dst and returns the
+// extended slice. Passing a reused buffer makes adjacency iteration
+// allocation-free; route computation over large domains depends on this.
+func (n *Network) AppendNeighbors(dst []NodeID, id NodeID) []NodeID {
 	if id < 0 || int(id) >= len(n.adj) {
-		return nil
+		return dst
 	}
-	row := n.adj[id]
-	out := make([]NodeID, 0, len(row))
-	for to, l := range row {
+	for to, l := range n.adj[id] {
 		if l != nil {
-			out = append(out, NodeID(to))
+			dst = append(dst, NodeID(to))
 		}
 	}
-	return out
+	return dst
 }
 
 func (n *Network) nodeExists(id NodeID) bool {

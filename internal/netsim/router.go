@@ -35,8 +35,13 @@ type Router struct {
 	id   NodeID
 	name string
 
-	// routes maps a destination node to the next-hop node.
-	routes map[NodeID]NodeID
+	// routes is the dense next-hop table indexed by destination NodeID;
+	// NoNode marks destinations without an installed route. A flat slice
+	// replaces the former map: route installation on a 1000-router domain
+	// writes millions of entries, and the per-hop lookup is bounds-check
+	// plus load.
+	routes     []NodeID
+	routeCount int
 
 	filters []Filter
 
@@ -62,18 +67,46 @@ func (r *Router) Forwarded() uint64 { return r.forwarded }
 func (r *Router) FilterDropped() uint64 { return r.dropped }
 
 // SetRoute installs the next hop used to reach dest.
-func (r *Router) SetRoute(dest, nextHop NodeID) { r.routes[dest] = nextHop }
+func (r *Router) SetRoute(dest, nextHop NodeID) {
+	if dest < 0 {
+		return
+	}
+	if int(dest) >= len(r.routes) {
+		r.growRoutes(int(dest) + 1)
+	}
+	if r.routes[dest] == NoNode && nextHop != NoNode {
+		r.routeCount++
+	} else if r.routes[dest] != NoNode && nextHop == NoNode {
+		r.routeCount--
+	}
+	r.routes[dest] = nextHop
+}
+
+// growRoutes extends the dense table to at least n entries, using the
+// network's node count as a floor so a route sweep over the whole domain
+// grows the table once instead of doubling repeatedly.
+func (r *Router) growRoutes(n int) {
+	if hint := len(r.net.nodes); hint > n {
+		n = hint
+	}
+	grown := make([]NodeID, n)
+	copy(grown, r.routes)
+	for i := len(r.routes); i < n; i++ {
+		grown[i] = NoNode
+	}
+	r.routes = grown
+}
 
 // Route returns the next hop toward dest, or NoNode if none is installed.
 func (r *Router) Route(dest NodeID) NodeID {
-	if nh, ok := r.routes[dest]; ok {
-		return nh
+	if dest < 0 || int(dest) >= len(r.routes) {
+		return NoNode
 	}
-	return NoNode
+	return r.routes[dest]
 }
 
 // RouteCount reports how many destinations the router can reach.
-func (r *Router) RouteCount() int { return len(r.routes) }
+func (r *Router) RouteCount() int { return r.routeCount }
 
 // AttachFilter appends a filter to the router's processing chain.
 func (r *Router) AttachFilter(f Filter) {

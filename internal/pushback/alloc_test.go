@@ -1,0 +1,46 @@
+package pushback
+
+import (
+	"testing"
+
+	"mafic/internal/netsim"
+	"mafic/internal/trafficmatrix"
+)
+
+// TestHandleReportSteadyStateZeroAlloc pins the detector's per-epoch cost at
+// zero allocations once its dense history tables have grown: epoch reports
+// stream through detection and baseline maintenance without heap traffic as
+// long as no pushback request fires.
+func TestHandleReportSteadyStateZeroAlloc(t *testing.T) {
+	c := NewCoordinator(Config{HistoryFactor: 1e12, MinVictimLoad: 1e12}, nil, nil)
+
+	routers := []netsim.NodeID{0, 1, 2, 3, 4, 5, 6, 7}
+	dest := []float64{40, 35, 60, 20, 15, 80, 5, 50}
+	src := []float64{30, 30, 30, 30, 30, 30, 30, 30}
+	r := trafficmatrix.EpochReport{
+		Routers:   routers,
+		DestEst:   dest,
+		SourceEst: src,
+		Matrix: []trafficmatrix.Cell{
+			{Source: 0, Dest: 5, Packets: 25},
+			{Source: 1, Dest: 5, Packets: 30},
+		},
+	}
+
+	// First report grows the history tables.
+	r.Epoch = 1
+	c.HandleReport(r)
+
+	epoch := 1
+	allocs := testing.AllocsPerRun(50, func() {
+		epoch++
+		r.Epoch = epoch
+		c.HandleReport(r)
+	})
+	if allocs != 0 {
+		t.Fatalf("HandleReport allocates %v per epoch in steady state, want 0", allocs)
+	}
+	if c.Active() {
+		t.Fatal("thresholds were set impossible; nothing should trigger")
+	}
+}

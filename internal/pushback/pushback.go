@@ -8,7 +8,7 @@ package pushback
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 
 	"mafic/internal/netsim"
 	"mafic/internal/trafficmatrix"
@@ -150,10 +150,15 @@ type Coordinator struct {
 	eligible map[netsim.NodeID]bool
 
 	// history keeps an EWMA of each router's |D_j| across epochs for the
-	// history-based test.
-	history      map[netsim.NodeID]float64
+	// history-based test. Both tables are dense, NodeID-indexed, and grown
+	// on first use, so steady-state epoch processing allocates nothing.
+	history      []float64
+	historyOK    []bool
 	historySeen  int
 	historyAlpha float64
+
+	// cellScratch is the reusable buffer behind ATR ranking.
+	cellScratch []trafficmatrix.Cell
 
 	active        bool
 	activeVictim  netsim.NodeID
@@ -187,7 +192,6 @@ func NewCoordinator(cfg Config, onPushback func(Request), onWithdraw func(victim
 		onPushback:   onPushback,
 		onWithdraw:   onWithdraw,
 		eligible:     eligible,
-		history:      make(map[netsim.NodeID]float64),
 		historyAlpha: 0.5,
 	}
 }
@@ -237,7 +241,8 @@ func (c *Coordinator) detectVictim(report trafficmatrix.EpochReport) (victim net
 		maxID netsim.NodeID = netsim.NoNode
 		maxDj float64
 	)
-	for id, dj := range report.DestEstimates {
+	for _, id := range report.Routers {
+		dj := report.DestEstimate(id)
 		if dj <= 0 {
 			continue
 		}
@@ -261,7 +266,7 @@ func (c *Coordinator) detectVictim(report trafficmatrix.EpochReport) (victim net
 		}
 	}
 	if c.cfg.HistoryFactor > 0 && c.historySeen >= c.cfg.MinHistoryEpochs {
-		if baselineLoad, ok := c.history[maxID]; ok && baselineLoad > 0 {
+		if baselineLoad, ok := c.baseline(maxID); ok && baselineLoad > 0 {
 			threshold := c.cfg.HistoryFactor * baselineLoad
 			if maxDj >= threshold {
 				return maxID, maxDj, threshold, true
@@ -271,28 +276,47 @@ func (c *Coordinator) detectVictim(report trafficmatrix.EpochReport) (victim net
 	return maxID, maxDj, 0, false
 }
 
+// baseline returns the EWMA |D_j| baseline for a router, if one exists yet.
+func (c *Coordinator) baseline(id netsim.NodeID) (float64, bool) {
+	if id < 0 || int(id) >= len(c.history) || !c.historyOK[id] {
+		return 0, false
+	}
+	return c.history[id], true
+}
+
+// growHistory sizes the dense baseline tables to cover id.
+func (c *Coordinator) growHistory(id netsim.NodeID) {
+	for int(id) >= len(c.history) {
+		c.history = append(c.history, 0)
+		c.historyOK = append(c.historyOK, false)
+	}
+}
+
 // updateHistory folds the epoch's loads into the per-router EWMA baselines.
 // While an attack is detected (or pushback is active) the victim's baseline
 // is frozen so the attack itself does not become the new normal.
 func (c *Coordinator) updateHistory(report trafficmatrix.EpochReport, found bool, victim netsim.NodeID) {
 	c.historySeen++
-	for id, dj := range report.DestEstimates {
+	for _, id := range report.Routers {
+		c.growHistory(id)
 		if (found && id == victim) || (c.active && id == c.activeVictim) {
 			continue
 		}
-		prev, ok := c.history[id]
-		if !ok {
+		dj := report.DestEstimate(id)
+		if !c.historyOK[id] {
 			c.history[id] = dj
+			c.historyOK[id] = true
 			continue
 		}
-		c.history[id] = c.historyAlpha*dj + (1-c.historyAlpha)*prev
+		c.history[id] = c.historyAlpha*dj + (1-c.historyAlpha)*c.history[id]
 	}
 }
 
 // identifyATRs ranks source routers by their estimated contribution a_ij to
 // the victim and keeps those above the configured share.
 func (c *Coordinator) identifyATRs(report trafficmatrix.EpochReport, victim netsim.NodeID, victimLoad float64) []ATR {
-	cells := report.TopSources(victim)
+	c.cellScratch = report.AppendTopSources(c.cellScratch[:0], victim)
+	cells := c.cellScratch
 	atrs := make([]ATR, 0, len(cells))
 	for _, cell := range cells {
 		if c.eligible != nil && !c.eligible[cell.Source] {
@@ -313,7 +337,16 @@ func (c *Coordinator) identifyATRs(report trafficmatrix.EpochReport, victim nets
 			break
 		}
 	}
-	sort.Slice(atrs, func(i, j int) bool { return atrs[i].Packets > atrs[j].Packets })
+	slices.SortFunc(atrs, func(a, b ATR) int {
+		switch {
+		case a.Packets > b.Packets:
+			return -1
+		case a.Packets < b.Packets:
+			return 1
+		default:
+			return 0
+		}
+	})
 	return atrs
 }
 

@@ -1,6 +1,7 @@
 package pushback
 
 import (
+	"sort"
 	"testing"
 
 	"mafic/internal/netsim"
@@ -8,12 +9,27 @@ import (
 )
 
 // report builds a synthetic epoch report: dests maps router -> |D_j|,
-// cells lists a_ij entries.
+// cells lists a_ij entries. The map is flattened into the report's dense
+// NodeID-indexed tables.
 func report(epoch int, dests map[netsim.NodeID]float64, cells []trafficmatrix.Cell) trafficmatrix.EpochReport {
+	ids := make([]netsim.NodeID, 0, len(dests))
+	maxID := netsim.NodeID(-1)
+	for id := range dests {
+		ids = append(ids, id)
+		if id > maxID {
+			maxID = id
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	dense := make([]float64, maxID+1)
+	for id, v := range dests {
+		dense[id] = v
+	}
 	return trafficmatrix.EpochReport{
-		Epoch:         epoch,
-		DestEstimates: dests,
-		Matrix:        cells,
+		Epoch:   epoch,
+		Routers: ids,
+		DestEst: dense,
+		Matrix:  cells,
 	}
 }
 

@@ -1,0 +1,148 @@
+package topology
+
+import (
+	"mafic/internal/netsim"
+)
+
+// Arena holds the reusable backing arrays behind Domain construction: the
+// domain's role slices (routers, ingress, hosts by kind), the dense
+// host-to-ingress table, and the scratch space of the shortest-path route
+// computation. Parameter sweeps rebuild the topology at every point; building
+// through one arena per worker lets those rebuilds reuse storage instead of
+// re-growing it from nothing each time.
+//
+// Ownership mirrors the netsim packet pool: a Domain built from an arena
+// remains valid only until the next Build call on the same arena, which
+// recycles the backing arrays. Builds that must outlive each other use
+// separate arenas (or the package-level Build, which makes a fresh one). An
+// Arena is not safe for concurrent use; give each goroutine its own.
+type Arena struct {
+	routers      []*netsim.Router
+	ingress      []*netsim.Router
+	victimHomes  []*netsim.Router
+	extraVictims []*netsim.Host
+	clients      []*netsim.Host
+	zombies      []*netsim.Host
+	bystanders   []*netsim.Host
+	ingressOf    []*netsim.Router
+
+	route routeScratch
+}
+
+// NewArena returns an empty arena ready for Build.
+func NewArena() *Arena { return &Arena{} }
+
+// recycle hands the arena's current backing arrays to a new Domain, truncated
+// to zero length, and keeps the headers so the next recycle sees any growth.
+func (a *Arena) recycle(d *Domain) {
+	d.Routers = a.routers[:0]
+	d.Ingress = a.ingress[:0]
+	d.VictimHomes = a.victimHomes[:0]
+	d.ExtraVictims = a.extraVictims[:0]
+	d.Clients = a.clients[:0]
+	d.Zombies = a.zombies[:0]
+	d.Bystanders = a.bystanders[:0]
+	d.ingressOf = a.ingressOf[:0]
+}
+
+// adopt records the (possibly re-grown) backing arrays after a successful
+// build so the next Build reuses them at their new capacity.
+func (a *Arena) adopt(d *Domain) {
+	a.routers = d.Routers
+	a.ingress = d.Ingress
+	a.victimHomes = d.VictimHomes
+	a.extraVictims = d.ExtraVictims
+	a.clients = d.Clients
+	a.zombies = d.Zombies
+	a.bystanders = d.Bystanders
+	a.ingressOf = d.ingressOf
+}
+
+// routeScratch is the slice-backed working set of the shortest-path route
+// computation: a CSR adjacency snapshot of the network plus the BFS parent
+// table and queue, all indexed directly by NodeID. It replaces the former
+// map[NodeID][]NodeID adjacency and per-destination map[NodeID]NodeID parent
+// maps, which dominated topology-build allocations.
+type routeScratch struct {
+	// offsets/targets form the CSR adjacency: node id's neighbours are
+	// targets[offsets[id]:offsets[id+1]], ascending.
+	offsets []int32
+	targets []netsim.NodeID
+	// parents[id] is id's BFS parent (the next hop from id toward the
+	// current root); NoNode marks unvisited nodes.
+	parents []netsim.NodeID
+	queue   []netsim.NodeID
+	// routerList collects the network's routers once, in id order, so the
+	// per-destination install loop does not consult the router map.
+	routerList []*netsim.Router
+}
+
+// snapshot rebuilds the CSR adjacency and router list from the network.
+// Node IDs are dense (allocation order), so the tables are exactly sized.
+func (rs *routeScratch) snapshot(net *netsim.Network) int {
+	n := net.NodeCount()
+	if cap(rs.offsets) < n+1 {
+		rs.offsets = make([]int32, n+1)
+	}
+	rs.offsets = rs.offsets[:n+1]
+	rs.targets = rs.targets[:0]
+	rs.routerList = rs.routerList[:0]
+	for id := 0; id < n; id++ {
+		rs.offsets[id] = int32(len(rs.targets))
+		rs.targets = net.AppendNeighbors(rs.targets, netsim.NodeID(id))
+		if r := net.Router(netsim.NodeID(id)); r != nil {
+			rs.routerList = append(rs.routerList, r)
+		}
+	}
+	rs.offsets[n] = int32(len(rs.targets))
+	if cap(rs.parents) < n {
+		rs.parents = make([]netsim.NodeID, n)
+	}
+	rs.parents = rs.parents[:n]
+	return n
+}
+
+// bfs fills parents with each reached node's parent on the shortest path
+// back toward root. The root's own entry is set to itself (visited marker);
+// unreached nodes keep NoNode.
+func (rs *routeScratch) bfs(root netsim.NodeID) {
+	parents := rs.parents
+	for i := range parents {
+		parents[i] = netsim.NoNode
+	}
+	queue := rs.queue[:0]
+	queue = append(queue, root)
+	parents[root] = root
+	for qi := 0; qi < len(queue); qi++ {
+		cur := queue[qi]
+		for _, nb := range rs.targets[rs.offsets[cur]:rs.offsets[cur+1]] {
+			if parents[nb] != netsim.NoNode {
+				continue
+			}
+			parents[nb] = cur
+			queue = append(queue, nb)
+		}
+	}
+	rs.queue = queue
+}
+
+// install computes hop-count shortest paths over the full node graph and
+// installs next-hop entries on every router for every destination, identical
+// in outcome to the historical map-based implementation.
+func (rs *routeScratch) install(net *netsim.Network) error {
+	n := rs.snapshot(net)
+	for dest := 0; dest < n; dest++ {
+		destID := netsim.NodeID(dest)
+		rs.bfs(destID)
+		for _, r := range rs.routerList {
+			id := r.ID()
+			if id == destID {
+				continue
+			}
+			if parent := rs.parents[id]; parent != netsim.NoNode {
+				r.SetRoute(destID, parent)
+			}
+		}
+	}
+	return nil
+}

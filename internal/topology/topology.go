@@ -208,22 +208,29 @@ type Domain struct {
 	// Bystanders are stub hosts whose addresses attackers spoof.
 	Bystanders []*netsim.Host
 
-	// clientIngress and zombieIngress record which ingress router each
-	// source host enters through.
-	clientIngress map[netsim.NodeID]*netsim.Router
-	zombieIngress map[netsim.NodeID]*netsim.Router
+	// ingressOf records, densely indexed by host NodeID, which ingress
+	// router each edge source (client or zombie) enters through; nil for
+	// every other node.
+	ingressOf []*netsim.Router
 }
 
 // IngressOf reports the ingress router a source host (client or zombie)
 // attaches to, or nil if the host is not an edge source.
 func (d *Domain) IngressOf(host *netsim.Host) *netsim.Router {
-	if r, ok := d.clientIngress[host.ID()]; ok {
-		return r
+	id := host.ID()
+	if id < 0 || int(id) >= len(d.ingressOf) {
+		return nil
 	}
-	if r, ok := d.zombieIngress[host.ID()]; ok {
-		return r
+	return d.ingressOf[id]
+}
+
+// setIngressOf records host → ingress in the dense table.
+func (d *Domain) setIngressOf(host *netsim.Host, ing *netsim.Router) {
+	id := int(host.ID())
+	for id >= len(d.ingressOf) {
+		d.ingressOf = append(d.ingressOf, nil)
 	}
-	return nil
+	d.ingressOf[id] = ing
 }
 
 // SpoofPool returns the addresses of the bystander hosts: valid, routable
@@ -242,8 +249,16 @@ func (d *Domain) VictimIP() netsim.IP { return d.Victim.PrimaryIP() }
 
 // Build generates a domain according to cfg, wiring links and installing
 // shortest-path routes on every router. The supplied RNG drives every random
-// choice so domains are reproducible.
+// choice so domains are reproducible. Each call uses a fresh arena; sweeps
+// that rebuild topologies repeatedly should reuse one via Arena.Build.
 func Build(cfg Config, sched *sim.Scheduler, rng *sim.RNG) (*Domain, error) {
+	return NewArena().Build(cfg, sched, rng)
+}
+
+// Build generates a domain like the package-level Build, reusing the arena's
+// backing arrays. The returned Domain is valid until the arena's next Build;
+// see the Arena documentation for the ownership rules.
+func (a *Arena) Build(cfg Config, sched *sim.Scheduler, rng *sim.RNG) (*Domain, error) {
 	if cfg.NumRouters < 2 {
 		return nil, ErrTooFewRouters
 	}
@@ -267,13 +282,13 @@ func Build(cfg Config, sched *sim.Scheduler, rng *sim.RNG) (*Domain, error) {
 	}
 
 	net := netsim.New(sched, rng)
-	d := &Domain{
-		Net:           net,
-		clientIngress: make(map[netsim.NodeID]*netsim.Router),
-		zombieIngress: make(map[netsim.NodeID]*netsim.Router),
-	}
+	// The final node population is known up front; reserving it lets the
+	// network allocate its dense per-node tables (dispatch, adjacency rows,
+	// route tables) exactly once.
+	net.Reserve(cfg.nodeBudget(numIngress))
+	d := &Domain{Net: net}
+	a.recycle(d)
 
-	d.Routers = make([]*netsim.Router, 0, cfg.NumRouters)
 	for i := 0; i < cfg.NumRouters; i++ {
 		d.Routers = append(d.Routers, net.AddRouter(fmt.Sprintf("r%d", i)))
 	}
@@ -346,7 +361,7 @@ func Build(cfg Config, sched *sim.Scheduler, rng *sim.RNG) (*Domain, error) {
 				return nil, fmt.Errorf("client link: %w", err)
 			}
 			d.Clients = append(d.Clients, h)
-			d.clientIngress[h.ID()] = ing
+			d.setIngressOf(h, ing)
 		}
 		for z := 0; z < cfg.ZombiesPerIngress; z++ {
 			h := net.AddHost(fmt.Sprintf("zombie%d", zombieIdx), ipFrom(172, 16, byte(gi), byte(10+z)))
@@ -356,7 +371,7 @@ func Build(cfg Config, sched *sim.Scheduler, rng *sim.RNG) (*Domain, error) {
 				return nil, fmt.Errorf("zombie link: %w", err)
 			}
 			d.Zombies = append(d.Zombies, h)
-			d.zombieIngress[h.ID()] = ing
+			d.setIngressOf(h, ing)
 		}
 	}
 
@@ -374,10 +389,21 @@ func Build(cfg Config, sched *sim.Scheduler, rng *sim.RNG) (*Domain, error) {
 		d.Bystanders = append(d.Bystanders, h)
 	}
 
-	if err := InstallShortestPathRoutes(net); err != nil {
+	if err := a.route.install(net); err != nil {
 		return nil, err
 	}
+	a.adopt(d)
 	return d, nil
+}
+
+// nodeBudget is the total node count (routers plus hosts) a build with the
+// given effective ingress count creates, used to pre-size the network's
+// dense per-node tables.
+func (c Config) nodeBudget(numIngress int) int {
+	return c.NumRouters + // routers
+		1 + c.ExtraVictims + // victim hosts
+		numIngress*(c.ClientsPerIngress+c.ZombiesPerIngress) + // edge sources
+		c.BystanderHosts
 }
 
 // buildRingCore wires the default intra-AS approximation: a ring of core
@@ -455,62 +481,12 @@ func ipFrom(a, b, c, d byte) netsim.IP {
 
 // InstallShortestPathRoutes computes hop-count shortest paths over the full
 // node graph (routers and hosts) and installs next-hop entries on every
-// router for every possible destination node.
+// router for every possible destination node. The computation runs entirely
+// on slice-indexed tables (CSR adjacency, dense BFS parents); arena builds
+// reuse that scratch across sweep points via routeScratch.install.
 func InstallShortestPathRoutes(net *netsim.Network) error {
-	adj := adjacency(net)
-	// BFS rooted at every destination; the parent of a router in the BFS
-	// tree is its next hop toward the root.
-	for dest := range adj {
-		parents := bfsParents(adj, dest)
-		for id, parent := range parents {
-			r := net.Router(id)
-			if r == nil || id == dest {
-				continue
-			}
-			r.SetRoute(dest, parent)
-		}
-	}
-	return nil
-}
-
-// adjacency builds the undirected neighbour sets from the network's links.
-func adjacency(net *netsim.Network) map[netsim.NodeID][]netsim.NodeID {
-	adj := make(map[netsim.NodeID][]netsim.NodeID, net.NodeCount())
-	addNode := func(id netsim.NodeID) {
-		if _, ok := adj[id]; !ok {
-			adj[id] = nil
-		}
-	}
-	for id := range net.Routers() {
-		addNode(id)
-		adj[id] = append(adj[id], net.Neighbors(id)...)
-	}
-	for id := range net.Hosts() {
-		addNode(id)
-		adj[id] = append(adj[id], net.Neighbors(id)...)
-	}
-	return adj
-}
-
-// bfsParents runs a breadth-first search from root and returns, for every
-// reached node, its parent on the shortest path back toward root.
-func bfsParents(adj map[netsim.NodeID][]netsim.NodeID, root netsim.NodeID) map[netsim.NodeID]netsim.NodeID {
-	parents := make(map[netsim.NodeID]netsim.NodeID, len(adj))
-	visited := map[netsim.NodeID]bool{root: true}
-	queue := []netsim.NodeID{root}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		for _, nb := range adj[cur] {
-			if visited[nb] {
-				continue
-			}
-			visited[nb] = true
-			parents[nb] = cur
-			queue = append(queue, nb)
-		}
-	}
-	return parents
+	var rs routeScratch
+	return rs.install(net)
 }
 
 // PathLength returns the number of hops between two nodes, or -1 if they are
@@ -519,18 +495,22 @@ func PathLength(net *netsim.Network, from, to netsim.NodeID) int {
 	if from == to {
 		return 0
 	}
-	adj := adjacency(net)
-	parents := bfsParents(adj, to)
+	var rs routeScratch
+	n := rs.snapshot(net)
+	if int(from) >= n || int(to) >= n || from < 0 || to < 0 {
+		return -1
+	}
+	rs.bfs(to)
 	hops := 0
 	cur := from
 	for cur != to {
-		next, ok := parents[cur]
-		if !ok {
+		next := rs.parents[cur]
+		if next == netsim.NoNode || next == cur {
 			return -1
 		}
 		cur = next
 		hops++
-		if hops > len(adj)+1 {
+		if hops > n+1 {
 			return -1
 		}
 	}

@@ -8,11 +8,28 @@
 //
 // from which the pushback layer detects victims (abnormally large |D_j|) and
 // identifies the attack-transit routers (large a_ij toward the victim).
+//
+// # Epoch pipeline and buffer ownership
+//
+// The layer is allocation-free in steady state. Each counter records into the
+// active half of a double-buffered sketch pair; at an epoch boundary the pair
+// is swapped (the epoch freezes into the shadow half, the active half is
+// cleared) instead of cloned. The monitor owns one set of report buffers —
+// dense NodeID-indexed estimate tables, the matrix cell slice, and a scratch
+// union sketch — reused across epochs, mirroring the netsim packet pool's
+// ownership rules: an EpochReport handed to the onReport callback is valid
+// only for the duration of the callback, because the next epoch overwrites
+// the shared backing arrays. Callbacks that need to retain a report keep a
+// deep copy via EpochReport.Clone. Setting MonitorConfig.FreshBuffers makes
+// the monitor allocate fresh backing per epoch instead (the historical
+// behaviour); the golden invariance tests use it to prove buffer reuse never
+// changes results.
 package trafficmatrix
 
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
 
 	"mafic/internal/loglog"
@@ -30,8 +47,8 @@ type Counter struct {
 	router  *netsim.Router
 	buckets int
 
-	source *loglog.Sketch // S_i: packets entering the domain here
-	dest   *loglog.Sketch // D_j: packets terminating here
+	source loglog.Pair // S_i: packets entering the domain here
+	dest   loglog.Pair // D_j: packets terminating here
 
 	sourcePkts uint64
 	destPkts   uint64
@@ -43,15 +60,36 @@ var _ netsim.Filter = (*Counter)(nil)
 // NewCounter creates a counter for the given router using LogLog sketches
 // with the given bucket count.
 func NewCounter(router *netsim.Router, buckets int) (*Counter, error) {
-	src, err := loglog.New(buckets)
-	if err != nil {
-		return nil, fmt.Errorf("source sketch: %w", err)
+	c := &Counter{}
+	if err := c.init(router, buckets, nil); err != nil {
+		return nil, err
 	}
-	dst, err := loglog.New(buckets)
-	if err != nil {
-		return nil, fmt.Errorf("dest sketch: %w", err)
+	return c, nil
+}
+
+// init wires a counter in place. When slab is non-nil it must hold at least
+// four sketches, which become the counter's two double-buffered pairs; the
+// monitor uses this to build every counter of a domain from one allocation.
+func (c *Counter) init(router *netsim.Router, buckets int, slab []loglog.Sketch) error {
+	var src, dst loglog.Pair
+	var err error
+	if slab != nil {
+		if src, err = loglog.PairOf(&slab[0], &slab[1]); err != nil {
+			return fmt.Errorf("source sketch: %w", err)
+		}
+		if dst, err = loglog.PairOf(&slab[2], &slab[3]); err != nil {
+			return fmt.Errorf("dest sketch: %w", err)
+		}
+	} else {
+		if src, err = loglog.NewPair(buckets); err != nil {
+			return fmt.Errorf("source sketch: %w", err)
+		}
+		if dst, err = loglog.NewPair(buckets); err != nil {
+			return fmt.Errorf("dest sketch: %w", err)
+		}
 	}
-	return &Counter{router: router, buckets: buckets, source: src, dest: dst}, nil
+	*c = Counter{router: router, buckets: buckets, source: src, dest: dst}
+	return nil
 }
 
 // Name implements netsim.Filter.
@@ -69,24 +107,26 @@ func (c *Counter) Handle(pkt *netsim.Packet, _ sim.Time, at *netsim.Router) nets
 		return netsim.ActionForward
 	}
 	if pkt.Hops == 0 {
-		c.source.Add(pkt.ID)
+		c.source.Active().Add(pkt.ID)
 		c.sourcePkts++
 	} else {
 		c.transit++
 	}
 	destNode := pkt.DestOwner(at.Network())
 	if destNode != netsim.NoNode && at.Network().LinkBetween(at.ID(), destNode) != nil {
-		c.dest.Add(pkt.ID)
+		c.dest.Active().Add(pkt.ID)
 		c.destPkts++
 	}
 	return netsim.ActionForward
 }
 
-// SourceEstimate returns the current-epoch estimate of |S_i|.
-func (c *Counter) SourceEstimate() float64 { return c.source.Estimate() }
+// SourceEstimate returns the running estimate of |S_i| for the epoch in
+// progress.
+func (c *Counter) SourceEstimate() float64 { return c.source.Active().Estimate() }
 
-// DestEstimate returns the current-epoch estimate of |D_j|.
-func (c *Counter) DestEstimate() float64 { return c.dest.Estimate() }
+// DestEstimate returns the running estimate of |D_j| for the epoch in
+// progress.
+func (c *Counter) DestEstimate() float64 { return c.dest.Active().Estimate() }
 
 // SourcePackets returns the exact number of packets counted into S_i this
 // epoch (used by tests to validate the sketches).
@@ -95,15 +135,22 @@ func (c *Counter) SourcePackets() uint64 { return c.sourcePkts }
 // DestPackets returns the exact number of packets counted into D_j.
 func (c *Counter) DestPackets() uint64 { return c.destPkts }
 
-// snapshot clones the sketches for epoch processing.
-func (c *Counter) snapshot() (src, dst *loglog.Sketch) {
-	return c.source.Clone(), c.dest.Clone()
+// epochSketches returns the sketches to compute an epoch report from: the
+// frozen shadow halves after a rotate, or the live active halves for
+// mid-epoch diagnostics.
+func (c *Counter) epochSketches(frozen bool) (src, dst *loglog.Sketch) {
+	if frozen {
+		return c.source.Shadow(), c.dest.Shadow()
+	}
+	return c.source.Active(), c.dest.Active()
 }
 
-// reset clears the per-epoch state.
-func (c *Counter) reset() {
-	c.source.Reset()
-	c.dest.Reset()
+// rotate ends the counter's epoch: both pairs swap, freezing the finished
+// epoch in their shadow halves and clearing the active halves for the next
+// one. Nothing is cloned and nothing allocates.
+func (c *Counter) rotate() {
+	c.source.Swap()
+	c.dest.Swap()
 	c.sourcePkts = 0
 	c.destPkts = 0
 	c.transit = 0
@@ -118,49 +165,121 @@ type Cell struct {
 	Packets float64
 }
 
-// EpochReport is the monitor's per-epoch output.
+// cellByPacketsDesc orders cells by descending contribution. A named
+// top-level function keeps the sort closure-free.
+func cellByPacketsDesc(a, b Cell) int {
+	switch {
+	case a.Packets > b.Packets:
+		return -1
+	case a.Packets < b.Packets:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// EpochReport is the monitor's per-epoch output. Estimates live in dense
+// NodeID-indexed tables rather than maps so readers index instead of hash
+// and iteration order is deterministic (ascending router ID).
+//
+// Reports delivered through the monitor's onReport callback share the
+// monitor's pooled buffers: they are valid only during the callback unless
+// copied with Clone. Reports obtained from a FreshBuffers monitor, from
+// Clone, or built by hand own their backing and stay valid indefinitely.
 type EpochReport struct {
 	// Epoch is the index of the measurement period, starting at 1.
 	Epoch int
 	// Start and End bound the measurement period.
 	Start, End sim.Time
-	// DestEstimates maps each router to its |D_j| estimate.
-	DestEstimates map[netsim.NodeID]float64
-	// SourceEstimates maps each router to its |S_i| estimate.
-	SourceEstimates map[netsim.NodeID]float64
+	// Routers lists every router carrying a counter, ascending by ID.
+	Routers []netsim.NodeID
+	// SourceEst and DestEst are the |S_i| and |D_j| estimate tables,
+	// indexed by NodeID; entries for IDs outside Routers are zero. Use
+	// SourceEstimate/DestEstimate for bounds-checked access.
+	SourceEst, DestEst []float64
 	// Matrix holds the a_ij estimates for every (source, dest) pair with
-	// non-trivial traffic.
+	// non-trivial traffic, ordered by ascending (source, dest).
 	Matrix []Cell
+}
+
+// SourceEstimate returns the |S_i| estimate for the given router, or zero.
+func (r *EpochReport) SourceEstimate(id netsim.NodeID) float64 {
+	if id < 0 || int(id) >= len(r.SourceEst) {
+		return 0
+	}
+	return r.SourceEst[id]
+}
+
+// DestEstimate returns the |D_j| estimate for the given router, or zero.
+func (r *EpochReport) DestEstimate(id netsim.NodeID) float64 {
+	if id < 0 || int(id) >= len(r.DestEst) {
+		return 0
+	}
+	return r.DestEst[id]
 }
 
 // TopSources returns the source routers ranked by their estimated
 // contribution a_ij toward the given destination router, largest first.
 func (r *EpochReport) TopSources(dest netsim.NodeID) []Cell {
-	var cells []Cell
+	return r.AppendTopSources(nil, dest)
+}
+
+// AppendTopSources appends the ranked sources for dest to dst and returns
+// the extended slice; passing a reused buffer makes the ranking
+// allocation-free.
+func (r *EpochReport) AppendTopSources(dst []Cell, dest netsim.NodeID) []Cell {
+	start := len(dst)
 	for _, c := range r.Matrix {
 		if c.Dest == dest {
-			cells = append(cells, c)
+			dst = append(dst, c)
 		}
 	}
-	sort.Slice(cells, func(i, j int) bool { return cells[i].Packets > cells[j].Packets })
-	return cells
+	slices.SortFunc(dst[start:], cellByPacketsDesc)
+	return dst
+}
+
+// Clone returns a deep copy of the report that owns its backing arrays,
+// for callers that retain reports beyond the onReport callback.
+func (r *EpochReport) Clone() EpochReport {
+	cp := *r
+	cp.Routers = append([]netsim.NodeID(nil), r.Routers...)
+	cp.SourceEst = append([]float64(nil), r.SourceEst...)
+	cp.DestEst = append([]float64(nil), r.DestEst...)
+	cp.Matrix = append([]Cell(nil), r.Matrix...)
+	return cp
 }
 
 // Monitor aggregates the per-router counters and computes the traffic matrix
 // once per epoch, the role the TrafficMonitor object plays in the paper's
 // NS-2 implementation.
 type Monitor struct {
-	sched    *sim.Scheduler
-	counters map[netsim.NodeID]*Counter
-	epoch    sim.Time
+	sched *sim.Scheduler
+	// counters is the dense NodeID-indexed counter table (nil for hosts);
+	// counterSlab is its backing, one allocation for the whole domain.
+	counters    []*Counter
+	counterSlab []Counter
+	// routerIDs lists the instrumented routers ascending; every per-epoch
+	// loop walks this, never a map.
+	routerIDs []netsim.NodeID
+	buckets   int
+	epoch     sim.Time
 
 	epochIndex int
 	epochStart sim.Time
 	onReport   func(EpochReport)
 
+	// Pooled report backing (see the package comment). scratch holds the
+	// union sketch reused by every intersection estimate.
+	srcEst, dstEst []float64
+	matrix         []Cell
+	scratch        *loglog.Sketch
+	fresh          bool
+
 	stop    bool
 	running bool
 }
+
+var _ sim.EventHandler = (*Monitor)(nil)
 
 // MonitorConfig configures a Monitor.
 type MonitorConfig struct {
@@ -169,6 +288,12 @@ type MonitorConfig struct {
 	// Buckets is the LogLog bucket count for every counter; zero means
 	// loglog.DefaultBuckets.
 	Buckets int
+	// FreshBuffers disables report-buffer pooling: every epoch allocates
+	// its own estimate tables and matrix, so reports may be retained
+	// without Clone. Measurement results are bit-identical either way —
+	// the golden invariance tests run the whole scenario catalog under
+	// both settings to prove it.
+	FreshBuffers bool
 }
 
 // Validate reports configuration problems. Zero values are valid — they
@@ -190,7 +315,8 @@ func (c MonitorConfig) Validate() error {
 var ErrMonitorConfig = errors.New("trafficmatrix: invalid monitor config")
 
 // NewMonitor creates a monitor and attaches a counter to every router of the
-// network. The onReport callback receives each epoch's traffic matrix.
+// network. The onReport callback receives each epoch's traffic matrix; see
+// the package comment for the report's lifetime rules.
 func NewMonitor(net *netsim.Network, cfg MonitorConfig, onReport func(EpochReport)) (*Monitor, error) {
 	if cfg.Buckets <= 0 {
 		cfg.Buckets = loglog.DefaultBuckets
@@ -198,25 +324,56 @@ func NewMonitor(net *netsim.Network, cfg MonitorConfig, onReport func(EpochRepor
 	if cfg.Epoch <= 0 {
 		cfg.Epoch = 100 * sim.Millisecond
 	}
-	m := &Monitor{
-		sched:    net.Scheduler(),
-		counters: make(map[netsim.NodeID]*Counter, len(net.Routers())),
-		epoch:    cfg.Epoch,
-		onReport: onReport,
+	routers := net.Routers()
+	ids := make([]netsim.NodeID, 0, len(routers))
+	maxID := netsim.NodeID(-1)
+	for id := range routers {
+		ids = append(ids, id)
+		if id > maxID {
+			maxID = id
+		}
 	}
-	for id, r := range net.Routers() {
-		c, err := NewCounter(r, cfg.Buckets)
-		if err != nil {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	m := &Monitor{
+		sched:     net.Scheduler(),
+		counters:  make([]*Counter, maxID+1),
+		routerIDs: ids,
+		buckets:   cfg.Buckets,
+		epoch:     cfg.Epoch,
+		onReport:  onReport,
+		fresh:     cfg.FreshBuffers,
+	}
+	// One sketch slab and one counter slab cover every router: counter
+	// construction is O(1) allocations regardless of domain size.
+	sketches, err := loglog.NewSlab(4*len(ids), cfg.Buckets)
+	if err != nil {
+		return nil, err
+	}
+	m.counterSlab = make([]Counter, len(ids))
+	for i, id := range ids {
+		c := &m.counterSlab[i]
+		if err := c.init(routers[id], cfg.Buckets, sketches[4*i:4*i+4]); err != nil {
 			return nil, err
 		}
-		r.AttachFilter(c)
+		routers[id].AttachFilter(c)
 		m.counters[id] = c
+	}
+	if !cfg.FreshBuffers {
+		m.srcEst = make([]float64, maxID+1)
+		m.dstEst = make([]float64, maxID+1)
+		m.scratch = loglog.MustNew(cfg.Buckets)
 	}
 	return m, nil
 }
 
 // Counter returns the counter attached to the given router, or nil.
-func (m *Monitor) Counter(id netsim.NodeID) *Counter { return m.counters[id] }
+func (m *Monitor) Counter(id netsim.NodeID) *Counter {
+	if id < 0 || int(id) >= len(m.counters) {
+		return nil
+	}
+	return m.counters[id]
+}
 
 // Epoch returns the measurement period length.
 func (m *Monitor) Epoch() sim.Time { return m.epoch }
@@ -229,68 +386,94 @@ func (m *Monitor) Start() {
 	m.running = true
 	m.stop = false
 	m.epochStart = m.sched.Now()
-	m.sched.ScheduleAfter(m.epoch, m.tick)
+	m.sched.ScheduleHandlerAfter(m.epoch, m)
 }
 
 // Stop halts epoch processing after the current epoch completes.
 func (m *Monitor) Stop() { m.stop = true }
 
-func (m *Monitor) tick(now sim.Time) {
-	report := m.Compute(now)
+// OnEvent implements sim.EventHandler: it is the epoch tick. Scheduling the
+// monitor itself (rather than a bound method value) keeps the periodic
+// rescheduling allocation-free.
+func (m *Monitor) OnEvent(now sim.Time) {
+	for _, id := range m.routerIDs {
+		m.counters[id].rotate()
+	}
+	report := m.compute(now, true)
 	if m.onReport != nil {
 		m.onReport(report)
-	}
-	for _, c := range m.counters {
-		c.reset()
 	}
 	m.epochStart = now
 	if m.stop {
 		m.running = false
 		return
 	}
-	m.sched.ScheduleAfter(m.epoch, m.tick)
+	m.sched.ScheduleHandlerAfter(m.epoch, m)
 }
 
-// Compute builds an EpochReport from the counters' current state without
-// resetting them. The periodic tick uses it; tests and on-demand diagnostics
-// may call it directly.
+// Compute builds an EpochReport from the counters' current in-progress state
+// without ending the epoch. The periodic tick instead freezes the epoch via
+// the pair swap and computes from the frozen halves; tests and on-demand
+// diagnostics call Compute directly. The returned report follows the same
+// lifetime rules as callback reports (see the package comment).
 func (m *Monitor) Compute(now sim.Time) EpochReport {
+	return m.compute(now, false)
+}
+
+// compute assembles the epoch report from either the frozen or the live
+// sketch halves, reusing the monitor's pooled buffers unless FreshBuffers
+// is set.
+func (m *Monitor) compute(now sim.Time, frozen bool) EpochReport {
 	m.epochIndex++
-	report := EpochReport{
-		Epoch:           m.epochIndex,
-		Start:           m.epochStart,
-		End:             now,
-		DestEstimates:   make(map[netsim.NodeID]float64, len(m.counters)),
-		SourceEstimates: make(map[netsim.NodeID]float64, len(m.counters)),
+	srcEst, dstEst, matrix, scratch := m.srcEst, m.dstEst, m.matrix[:0], m.scratch
+	if m.fresh {
+		srcEst = make([]float64, len(m.counters))
+		dstEst = make([]float64, len(m.counters))
+		matrix = nil
+		scratch = loglog.MustNew(m.buckets)
+	} else {
+		for i := range srcEst {
+			srcEst[i] = 0
+			dstEst[i] = 0
+		}
 	}
 
-	type snap struct {
-		id       netsim.NodeID
-		src, dst *loglog.Sketch
+	for _, id := range m.routerIDs {
+		src, dst := m.counters[id].epochSketches(frozen)
+		srcEst[id] = src.Estimate()
+		dstEst[id] = dst.Estimate()
 	}
-	snaps := make([]snap, 0, len(m.counters))
-	for id, c := range m.counters {
-		s, d := c.snapshot()
-		snaps = append(snaps, snap{id: id, src: s, dst: d})
-		report.SourceEstimates[id] = s.Estimate()
-		report.DestEstimates[id] = d.Estimate()
-	}
-	sort.Slice(snaps, func(i, j int) bool { return snaps[i].id < snaps[j].id })
-
-	for _, si := range snaps {
-		if report.SourceEstimates[si.id] < 1 {
+	for _, i := range m.routerIDs {
+		if srcEst[i] < 1 {
 			continue
 		}
-		for _, dj := range snaps {
-			if report.DestEstimates[dj.id] < 1 {
+		si, _ := m.counters[i].epochSketches(frozen)
+		for _, j := range m.routerIDs {
+			if dstEst[j] < 1 {
 				continue
 			}
-			aij, err := loglog.IntersectionEstimate(si.src, dj.dst)
-			if err != nil || aij < 1 {
+			_, dj := m.counters[j].epochSketches(frozen)
+			union, err := loglog.UnionEstimateInto(scratch, si, dj)
+			if err != nil {
 				continue
 			}
-			report.Matrix = append(report.Matrix, Cell{Source: si.id, Dest: dj.id, Packets: aij})
+			aij := srcEst[i] + dstEst[j] - union
+			if aij < 1 {
+				continue
+			}
+			matrix = append(matrix, Cell{Source: i, Dest: j, Packets: aij})
 		}
 	}
-	return report
+	if !m.fresh {
+		m.matrix = matrix
+	}
+	return EpochReport{
+		Epoch:     m.epochIndex,
+		Start:     m.epochStart,
+		End:       now,
+		Routers:   m.routerIDs,
+		SourceEst: srcEst,
+		DestEst:   dstEst,
+		Matrix:    matrix,
+	}
 }

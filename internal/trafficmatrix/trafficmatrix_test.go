@@ -118,7 +118,9 @@ func TestMonitorEpochReports(t *testing.T) {
 
 	var reports []EpochReport
 	mon, err := NewMonitor(d.Net, MonitorConfig{Epoch: 50 * sim.Millisecond}, func(r EpochReport) {
-		reports = append(reports, r)
+		// Callback reports share the monitor's pooled buffers; retaining
+		// them across epochs requires a deep copy.
+		reports = append(reports, r.Clone())
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -145,7 +147,7 @@ func TestMonitorEpochReports(t *testing.T) {
 	}
 	// The access link (20 Mbps) bottlenecks the 600-packet burst, so only
 	// part of it reaches the last hop within the first epoch.
-	lastHopLoad := first.DestEstimates[d.LastHop.ID()]
+	lastHopLoad := first.DestEstimate(d.LastHop.ID())
 	if lastHopLoad < 150 {
 		t.Fatalf("last-hop D_j estimate = %.0f, want >= 150", lastHopLoad)
 	}
@@ -160,8 +162,8 @@ func TestMonitorEpochReports(t *testing.T) {
 	}
 	// A later epoch (after the flood stopped) must show the load subsiding.
 	last := reports[len(reports)-1]
-	if last.DestEstimates[d.LastHop.ID()] > lastHopLoad/2 {
-		t.Fatalf("load did not subside after flood: %.0f", last.DestEstimates[d.LastHop.ID()])
+	if last.DestEstimate(d.LastHop.ID()) > lastHopLoad/2 {
+		t.Fatalf("load did not subside after flood: %.0f", last.DestEstimate(d.LastHop.ID()))
 	}
 	if mon.Epoch() != 50*sim.Millisecond {
 		t.Fatal("Epoch() accessor mismatch")
