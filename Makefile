@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet check golden bench bench-baseline bench-diff
+.PHONY: all build test vet check golden bench bench-baseline bench-diff bench-smoke profile
 
 all: build test
 
@@ -43,3 +43,17 @@ bench-baseline:
 # exits non-zero if any benchmark's ns/op or allocs/op grew by more than 10%.
 bench-diff:
 	$(GO) run ./cmd/maficbench -out BENCH_current.json -diff BENCH_baseline.json
+
+# bench-smoke is the quick-mode regression gate CI runs on a schedule: only
+# the two headline benchmarks, with a looser tolerance to absorb shared-
+# runner noise. A failure here means a >25% regression slipped past review.
+bench-smoke:
+	$(GO) run ./cmd/maficbench -benchmarks table2,stress-1k -diff BENCH_baseline.json -tolerance 0.25
+
+# profile runs the headline benchmark under the CPU and allocation profilers
+# so the next hotspot hunt starts from `go tool pprof cpu.pprof` instead of
+# ad-hoc wiring. Override PROFILE_BENCH to profile a different benchmark.
+PROFILE_BENCH ?= table2
+profile:
+	$(GO) run ./cmd/maficbench -benchmarks $(PROFILE_BENCH) -cpuprofile cpu.pprof -memprofile mem.pprof
+	@echo "wrote cpu.pprof and mem.pprof (alloc profile); inspect with: go tool pprof -top cpu.pprof"

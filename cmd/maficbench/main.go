@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"testing"
 
@@ -184,12 +185,50 @@ func compareAgainst(baselinePath string, report BenchReport, tolerance float64) 
 	return regressions, nil
 }
 
-func main() {
+// main defers to run so the profile writers run before the process exits
+// (os.Exit would skip them).
+func main() { os.Exit(run()) }
+
+func run() int {
 	out := flag.String("out", "", "write the JSON report to this file instead of stdout")
 	only := flag.String("benchmarks", "", "comma-separated benchmark names to run (default: all)")
 	diff := flag.String("diff", "", "compare against this baseline JSON and exit non-zero on regression")
 	tolerance := flag.Float64("tolerance", 0.10, "with -diff: allowed fractional growth in ns/op or allocs/op")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark runs to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile of the benchmark runs to this file")
 	flag.Parse()
+
+	if *memprofile != "" {
+		// Record every allocation, not one per half-megabyte: the hot
+		// paths at stake allocate a few hundred small objects per run,
+		// which the default sampling rate would mostly miss.
+		runtime.MemProfileRate = 1
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "maficbench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush outstanding allocations into the profile
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "maficbench: write alloc profile:", err)
+			}
+		}()
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "maficbench:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "maficbench: start cpu profile:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	known := map[string]bool{}
 	for _, bm := range benchmarks {
@@ -200,7 +239,7 @@ func main() {
 		if name = strings.TrimSpace(name); name != "" {
 			if !known[name] {
 				fmt.Fprintf(os.Stderr, "maficbench: unknown benchmark %q (known: table2, stress-1k, fig3a..fig7, ablation-*)\n", name)
-				os.Exit(2)
+				return 2
 			}
 			selected[name] = true
 		}
@@ -230,27 +269,28 @@ func main() {
 	enc, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "encode report:", err)
-		os.Exit(1)
+		return 1
 	}
 	enc = append(enc, '\n')
 	if *out == "" {
 		os.Stdout.Write(enc)
 	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "write report:", err)
-		os.Exit(1)
+		return 1
 	}
 
 	if *diff != "" {
 		regressions, err := compareAgainst(*diff, report, *tolerance)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "maficbench:", err)
-			os.Exit(1)
+			return 1
 		}
 		if regressions > 0 {
 			fmt.Fprintf(os.Stderr, "maficbench: %d benchmark(s) regressed beyond %.0f%% vs %s\n",
 				regressions, *tolerance*100, *diff)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Fprintf(os.Stderr, "maficbench: no regressions beyond %.0f%% vs %s\n", *tolerance*100, *diff)
 	}
+	return 0
 }

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"testing"
+
+	"mafic/internal/flowtable"
+	"mafic/internal/netsim"
+	"mafic/internal/sim"
+)
+
+// TestProbeCycleSteadyStateDoesNotAllocate pins the slab-backed probing
+// path: once the flow tables, probe-record slabs, packet pool and scheduler
+// arena are warm, a complete probe cycle — first sight, SFT insert, dup-ACK
+// injection, window-close classification, table flush — performs no heap
+// allocation.
+func TestProbeCycleSteadyStateDoesNotAllocate(t *testing.T) {
+	e := newTestEnv(t)
+	d := e.defender(t, func(c *Config) { c.DropProbability = 1 })
+	victimIP := e.victim.PrimaryIP()
+
+	label := netsim.FlowLabel{
+		SrcIP: e.source.PrimaryIP(), DstIP: victimIP, SrcPort: 4242, DstPort: 80,
+	}
+	pkt := &netsim.Packet{
+		Label: label, Kind: netsim.KindData, Proto: netsim.ProtoTCP, Seq: 1, Size: 500,
+	}
+	pkt.SetFlowHash(label.Hash())
+
+	cycle := func() {
+		d.Activate(victimIP)
+		if got := d.Handle(pkt, e.sched.Now(), e.atr); got != netsim.ActionDrop {
+			t.Fatalf("first-sight packet not dropped into probing: %v", got)
+		}
+		// Drain the probe injection and the window-close classification.
+		if err := e.sched.Run(); err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+		d.Deactivate()
+	}
+	for i := 0; i < 4; i++ {
+		cycle()
+	}
+
+	if allocs := testing.AllocsPerRun(100, cycle); allocs != 0 {
+		t.Fatalf("steady-state probe cycle allocated %.1f times per cycle", allocs)
+	}
+}
+
+// TestDefenderReleaseReuse guards defender pooling hygiene: a released
+// defender reused by NewDefender must come back with zeroed stats, empty
+// tables and the new run's wiring.
+func TestDefenderReleaseReuse(t *testing.T) {
+	e := newTestEnv(t)
+	d := e.defender(t, func(c *Config) { c.DropProbability = 1 })
+	d.Activate(e.victim.PrimaryIP())
+	pkt := e.dataPacket(e.source.PrimaryIP(), 999, 1, true)
+	pkt.SetFlowHash(pkt.Label.Hash())
+	d.Handle(pkt, 0, e.atr)
+	if d.Stats().FlowsProbed != 1 {
+		t.Fatalf("setup: expected one probed flow, got %+v", d.Stats())
+	}
+	d.Release()
+
+	d2, err := NewDefender(DefaultConfig(), e.atr, sim.NewRNG(3))
+	if err != nil {
+		t.Fatalf("NewDefender after release: %v", err)
+	}
+	if d2 != d {
+		t.Skip("pool handed out a different object; reset not observable")
+	}
+	if d2.Active() {
+		t.Fatal("reused defender still active")
+	}
+	if s := d2.Stats(); s != (Stats{}) {
+		t.Fatalf("reused defender kept stats: %+v", s)
+	}
+	if sft, nft, pdt := d2.Tables().Sizes(); sft+nft+pdt != 0 {
+		t.Fatalf("reused defender kept table entries: %d/%d/%d", sft, nft, pdt)
+	}
+	if _, state := d2.Tables().Lookup(pkt.FlowHash()); state != flowtable.StateUnknown {
+		t.Fatalf("old flow still tracked after reuse: %v", state)
+	}
+}

@@ -15,6 +15,7 @@ import (
 
 	"mafic/internal/flowtable"
 	"mafic/internal/netsim"
+	"mafic/internal/pool"
 	"mafic/internal/sim"
 )
 
@@ -183,12 +184,86 @@ type Defender struct {
 	stats     Stats
 	probeSeqs uint64
 	observer  DropObserver
+
+	// probeSend and windowEnd are the defender's ArgHandler faces for the
+	// two events a probing cycle schedules; probeFree heads the free list
+	// of slab-allocated probe records they carry as payload, and
+	// probeChunks tracks every slab so Release can rebuild the free list
+	// (records still referenced by never-fired events included).
+	probeSend   probeSender
+	windowEnd   windowCloser
+	probeFree   *probeRecord
+	probeChunks [][]probeRecord
 }
 
 var _ netsim.Filter = (*Defender)(nil)
 
+// probeRecord carries one probing cycle's state through its two scheduled
+// events: the duplicated-ACK injection and the window-close classification.
+// Records are slab-allocated in chunks and recycled onto a free list when
+// the window closes, so steady-state flow churn probes without allocating.
+// gen snapshots entry.Gen at scheduling time: a mismatch when an event fires
+// means the entry was recycled (the tables were flushed) and the slot may
+// describe a different flow, so the event must do nothing.
+type probeRecord struct {
+	entry *flowtable.Entry
+	gen   uint32
+	label netsim.FlowLabel
+	proto netsim.Protocol
+	seq   int64
+	next  *probeRecord
+}
+
+// probeChunk is how many probe records one slab allocation carves.
+const probeChunk = 32
+
+// probeSender injects the duplicated-ACK probes when the probe delay
+// elapses. It exists as a named type so the Defender can offer two distinct
+// sim.ArgHandler implementations without per-event closures.
+type probeSender struct{ d *Defender }
+
+// OnEventArg implements sim.ArgHandler.
+func (p probeSender) OnEventArg(_ sim.Time, arg any) { p.d.fireProbe(arg.(*probeRecord)) }
+
+// windowCloser classifies the flow when its probing window closes and
+// recycles the probe record.
+type windowCloser struct{ d *Defender }
+
+// OnEventArg implements sim.ArgHandler.
+func (c windowCloser) OnEventArg(now sim.Time, arg any) { c.d.closeWindow(arg.(*probeRecord), now) }
+
+// getProbeRecord pops a record off the free list, carving a new slab chunk
+// when it is empty.
+func (d *Defender) getProbeRecord() *probeRecord {
+	if r := d.probeFree; r != nil {
+		d.probeFree = r.next
+		return r
+	}
+	chunk := make([]probeRecord, probeChunk)
+	d.probeChunks = append(d.probeChunks, chunk)
+	for i := 1; i < len(chunk); i++ {
+		chunk[i].next = d.probeFree
+		d.probeFree = &chunk[i]
+	}
+	return &chunk[0]
+}
+
+// putProbeRecord recycles a record, dropping its entry reference so the free
+// list does not pin dead flow state.
+func (d *Defender) putProbeRecord(r *probeRecord) {
+	r.entry = nil
+	r.next = d.probeFree
+	d.probeFree = r
+}
+
+// defenderPool recycles released defenders (with their tables and probe
+// slabs) across runs; see Release.
+var defenderPool = pool.FreeList[Defender]{Cap: 256}
+
 // NewDefender creates a defender bound to the given router. The router's
 // network supplies the scheduler, the routability oracle and packet IDs.
+// The object (tables and probe slabs included) comes from the package pool
+// when a released defender is available.
 func NewDefender(cfg Config, router *netsim.Router, rng *sim.RNG) (*Defender, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -199,12 +274,42 @@ func NewDefender(cfg Config, router *netsim.Router, rng *sim.RNG) (*Defender, er
 	if rng == nil {
 		rng = router.Network().RNG().Fork()
 	}
-	return &Defender{
-		cfg:    cfg,
-		router: router,
-		rng:    rng,
-		tables: flowtable.New(cfg.TableCapacity),
-	}, nil
+	d := defenderPool.Get()
+	if d == nil {
+		d = &Defender{tables: flowtable.New(cfg.TableCapacity)}
+		d.probeSend = probeSender{d: d}
+		d.windowEnd = windowCloser{d: d}
+	} else {
+		d.tables.SetCapacity(cfg.TableCapacity)
+	}
+	d.cfg, d.router, d.rng = cfg, router, rng
+	return d, nil
+}
+
+// Release flushes the defender and returns it to the package pool for reuse
+// by a later run. Call it only after the simulation that owns the defender
+// has finished — no scheduled probe or classification event may fire
+// afterwards — and do not use the defender again.
+func (d *Defender) Release() {
+	d.tables.Reset()
+	// Rebuild the probe-record free list from the slabs wholesale: records
+	// held by events that never fired (the run ended inside their probing
+	// window) are reclaimed here too.
+	d.probeFree = nil
+	for _, chunk := range d.probeChunks {
+		for i := range chunk {
+			chunk[i].entry = nil
+			chunk[i].next = d.probeFree
+			d.probeFree = &chunk[i]
+		}
+	}
+	d.active = false
+	d.victimIP = 0
+	d.stats = Stats{}
+	d.probeSeqs = 0
+	d.observer = nil
+	d.router, d.rng = nil, nil
+	defenderPool.Put(d)
 }
 
 // Name implements netsim.Filter.
@@ -342,6 +447,10 @@ func (d *Defender) Handle(pkt *netsim.Packet, now sim.Time, at *netsim.Router) n
 // at the end of the probing window. The probe is injected ProbeDelayRTTs
 // after insertion so the interval before it captures the flow's undisturbed
 // arrival rate and the interval after it captures the reaction.
+//
+// One recycled probeRecord carries the payload through both events via the
+// allocation-free ArgHandler path, so starting a probe cycle performs no
+// heap allocation in steady state.
 func (d *Defender) beginProbe(pkt *netsim.Packet, labelHash uint64, now sim.Time) {
 	window := d.cfg.probeWindow()
 	entry := d.tables.InsertSuspicious(labelHash, now, now+window)
@@ -350,19 +459,33 @@ func (d *Defender) beginProbe(pkt *netsim.Packet, labelHash uint64, now sim.Time
 	entry.BaselineCount++
 	d.stats.FlowsProbed++
 
+	rec := d.getProbeRecord()
+	rec.entry, rec.gen = entry, entry.Gen
+	rec.label, rec.proto, rec.seq = pkt.Label, pkt.Proto, pkt.Seq
+
 	sched := d.router.Network().Scheduler()
-	probeLabel := pkt.Label
-	probeProto := pkt.Proto
-	probeSeq := pkt.Seq
-	sched.ScheduleAt(now+d.cfg.probeDelay(), func(sim.Time) {
-		if !d.active || entry.State != flowtable.StateSuspicious {
-			return
-		}
-		d.sendDupAcks(probeLabel, probeProto, probeSeq)
-	})
-	sched.ScheduleAt(entry.ProbeDeadline, func(at sim.Time) {
-		d.classify(entry, at)
-	})
+	sched.ScheduleArgAt(now+d.cfg.probeDelay(), &d.probeSend, rec)
+	sched.ScheduleArgAt(entry.ProbeDeadline, &d.windowEnd, rec)
+}
+
+// fireProbe injects the duplicated ACKs if the flow is still under probing.
+// A generation mismatch means the entry was recycled by a table flush.
+func (d *Defender) fireProbe(rec *probeRecord) {
+	if !d.active || rec.entry.Gen != rec.gen || rec.entry.State != flowtable.StateSuspicious {
+		return
+	}
+	d.sendDupAcks(rec.label, rec.proto, rec.seq)
+}
+
+// closeWindow classifies the probed flow when its window ends and recycles
+// the probe record. The window-close event always fires after the probe
+// injection (probeDelay is strictly inside the window), so the record is
+// free for reuse the moment classification runs.
+func (d *Defender) closeWindow(rec *probeRecord, now sim.Time) {
+	if rec.entry.Gen == rec.gen {
+		d.classify(rec.entry, now)
+	}
+	d.putProbeRecord(rec)
 }
 
 // recordProbeSample counts an arrival into the pre-probe (baseline) or

@@ -4,8 +4,47 @@ import (
 	"reflect"
 	"testing"
 
+	"mafic/internal/sim"
 	"mafic/internal/topology"
 )
+
+// TestSchedulerBackendInvariance runs every registered scenario (quick mode,
+// stress-1k included) on the default calendar-queue scheduler and on the
+// 4-ary-heap escape hatch and requires bit-identical results. This is the
+// system-level guarantee behind the scheduler swap: both backends dispatch
+// events in exactly the same (time, sequence) order, so no golden fixture
+// can tell them apart.
+func TestSchedulerBackendInvariance(t *testing.T) {
+	for _, e := range Entries() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			calendar := Quick(e.Build())
+			heap := Quick(e.Build())
+			heap.Scheduler = sim.SchedulerConfig{Backend: sim.BackendHeap}
+
+			gotCalendar, err := Run(calendar)
+			if err != nil {
+				t.Fatalf("calendar run: %v", err)
+			}
+			gotHeap, err := Run(heap)
+			if err != nil {
+				t.Fatalf("heap run: %v", err)
+			}
+			if !reflect.DeepEqual(gotCalendar, gotHeap) {
+				t.Errorf("calendar and heap runs diverge")
+				if gotCalendar.Counts != gotHeap.Counts {
+					t.Errorf("counts: calendar %+v, heap %+v", gotCalendar.Counts, gotHeap.Counts)
+				}
+				if gotCalendar.EventsProcessed != gotHeap.EventsProcessed {
+					t.Errorf("events: calendar %d, heap %d", gotCalendar.EventsProcessed, gotHeap.EventsProcessed)
+				}
+				if gotCalendar.Accuracy != gotHeap.Accuracy {
+					t.Errorf("accuracy: calendar %v, heap %v", gotCalendar.Accuracy, gotHeap.Accuracy)
+				}
+			}
+		})
+	}
+}
 
 // TestBufferReuseInvariance runs every registered scenario (quick mode) down
 // both refactor paths — pooled epoch-report buffers + a shared topology arena

@@ -8,6 +8,7 @@ import (
 	"mafic/internal/flowtable"
 	"mafic/internal/metrics"
 	"mafic/internal/netsim"
+	"mafic/internal/pool"
 	"mafic/internal/pushback"
 	"mafic/internal/sim"
 	"mafic/internal/topology"
@@ -22,9 +23,45 @@ type defense interface {
 	Deactivate()
 }
 
+// resourcePoolCap bounds the run-scoped engine-object pools below; beyond
+// it released objects fall to the garbage collector.
+const resourcePoolCap = 64
+
+// arenaPool recycles topology arenas across sequential Run calls, so
+// repeated standalone runs reuse topology-construction backing the same way
+// RunMany's per-worker arenas do. Arena reuse is bit-invariant (the
+// invariance suite pins it), so pooling cannot change results.
+var arenaPool = pool.FreeList[topology.Arena]{Cap: resourcePoolCap}
+
+// schedPools recycles schedulers, one pool per queue backend. A recycled
+// scheduler is Reset before reuse, which keeps its event arena and queue
+// geometry warm; dispatch order does not depend on either, so results are
+// unaffected.
+var schedPools = [2]pool.FreeList[sim.Scheduler]{
+	{Cap: resourcePoolCap},
+	{Cap: resourcePoolCap},
+}
+
+func getScheduler(cfg sim.SchedulerConfig) *sim.Scheduler {
+	if sched := schedPools[cfg.Backend].Get(); sched != nil {
+		return sched
+	}
+	return sim.NewSchedulerWith(cfg)
+}
+
+func putScheduler(sched *sim.Scheduler) {
+	sched.Reset()
+	schedPools[sched.Backend()].Put(sched)
+}
+
 // Run executes one scenario and returns its metrics.
 func Run(s Scenario) (Result, error) {
-	return runWith(s, nil)
+	arena := arenaPool.Get()
+	if arena == nil {
+		arena = topology.NewArena()
+	}
+	defer arenaPool.Put(arena)
+	return runWith(s, arena)
 }
 
 // runWith executes one scenario, building its topology through the given
@@ -39,7 +76,8 @@ func runWith(s Scenario, arena *topology.Arena) (Result, error) {
 		arena = topology.NewArena()
 	}
 	rng := sim.NewRNG(s.Seed)
-	sched := sim.NewScheduler()
+	sched := getScheduler(s.Scheduler)
+	defer putScheduler(sched)
 
 	domain, err := arena.Build(s.Topology, sched, rng.Fork())
 	if err != nil {
@@ -51,6 +89,7 @@ func runWith(s Scenario, arena *topology.Arena) (Result, error) {
 	}
 
 	collector := metrics.NewCollector(s.BinWidth)
+	collector.ReserveSeries(s.Duration)
 	collector.InstallHooks(domain.Net, domain.Victim.ID())
 	for _, ing := range domain.Ingress {
 		collector.TapRouter(ing, domain.VictimIP())
@@ -217,16 +256,20 @@ func runWith(s Scenario, arena *topology.Arena) (Result, error) {
 			result.DefenseStats.FlowsCondemned += st.FlowsCondemned
 			result.DefenseStats.FlowsIllegal += st.FlowsIllegal
 
-			for hash, state := range d.Tables().Snapshot() {
+			d.Tables().Range(func(hash uint64, state flowtable.State) {
 				switch {
 				case state == flowtable.StatePermanentDrop && legitLabels[hash]:
 					result.LegitFlowsCondemned++
 				case state == flowtable.StateNice && attackLabels[hash]:
 					result.AttackFlowsForgiven++
 				}
-			}
+			})
+			d.Release()
 		}
 		result.FlowsProbed = int(result.DefenseStats.FlowsProbed)
 	}
+	// All metrics are extracted; pooled flow objects can go back to their
+	// pools for the next run (or the next sweep worker) to reuse.
+	workload.Release()
 	return result, nil
 }

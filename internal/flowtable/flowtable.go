@@ -48,6 +48,12 @@ type Entry struct {
 	LabelHash uint64
 	// State is the table the entry currently belongs to.
 	State State
+	// Gen counts how many times this slab slot has been recycled. Holders
+	// of long-lived *Entry references (the MAFIC engine's scheduled probe
+	// and classification events) capture Gen at reference time and treat a
+	// mismatch as "this flow is gone": the slot may already describe a
+	// different flow.
+	Gen uint32
 
 	// FirstSeen is when the flow was first inserted.
 	FirstSeen sim.Time
@@ -72,8 +78,15 @@ type Entry struct {
 	Dropped uint64
 }
 
+// entryChunk is how many entries one slab allocation carves.
+const entryChunk = 64
+
 // Tables bundles the SFT, NFT and PDT with capacity bounds and statistics.
 // It is a passive data structure: timing decisions belong to the caller.
+//
+// Entries are slab-allocated in chunks and recycled through a free list when
+// a flow is evicted or the tables are flushed, so steady-state flow churn
+// inserts without allocating. Recycling bumps Entry.Gen; see Entry.
 type Tables struct {
 	sft map[uint64]*Entry
 	nft map[uint64]*Entry
@@ -82,11 +95,19 @@ type Tables struct {
 	// capacity bounds each table; zero means unbounded.
 	capacity int
 
+	// slab is the tail of the current chunk still to be carved; free holds
+	// recycled entries, reused LIFO.
+	slab []Entry
+	free []*Entry
+
 	// evictions counts entries discarded because a table was full.
 	evictions uint64
-	// transitions counts state moves, keyed by destination state.
-	transitions map[State]uint64
+	// transitions counts state moves, indexed by destination state.
+	transitions [statePermanentDropIdx + 1]uint64
 }
+
+// statePermanentDropIdx bounds the transitions array.
+const statePermanentDropIdx = int(StatePermanentDrop)
 
 // New returns empty tables. capacity bounds each individual table; zero or
 // negative means unbounded.
@@ -95,12 +116,43 @@ func New(capacity int) *Tables {
 		capacity = 0
 	}
 	return &Tables{
-		sft:         make(map[uint64]*Entry),
-		nft:         make(map[uint64]*Entry),
-		pdt:         make(map[uint64]*Entry),
-		capacity:    capacity,
-		transitions: make(map[State]uint64),
+		sft:      make(map[uint64]*Entry),
+		nft:      make(map[uint64]*Entry),
+		pdt:      make(map[uint64]*Entry),
+		capacity: capacity,
 	}
+}
+
+// SetCapacity adjusts the per-table bound for subsequent inserts; zero or
+// negative means unbounded. Existing entries are never evicted eagerly.
+func (t *Tables) SetCapacity(capacity int) {
+	if capacity < 0 {
+		capacity = 0
+	}
+	t.capacity = capacity
+}
+
+// get returns a blank entry from the free list or the slab. Every field
+// except Gen is zero.
+func (t *Tables) get() *Entry {
+	if n := len(t.free); n > 0 {
+		e := t.free[n-1]
+		t.free = t.free[:n-1]
+		return e
+	}
+	if len(t.slab) == 0 {
+		t.slab = make([]Entry, entryChunk)
+	}
+	e := &t.slab[0]
+	t.slab = t.slab[1:]
+	return e
+}
+
+// put recycles an entry. The generation bump invalidates every outstanding
+// reference to the old occupant.
+func (t *Tables) put(e *Entry) {
+	*e = Entry{Gen: e.Gen + 1}
+	t.free = append(t.free, e)
 }
 
 // Lookup returns the entry for the hashed label and the table it lives in.
@@ -125,14 +177,11 @@ func (t *Tables) InsertSuspicious(labelHash uint64, now, deadline sim.Time) *Ent
 		return e
 	}
 	t.makeRoom(t.sft)
-	e := &Entry{
-		LabelHash:     labelHash,
-		State:         StateSuspicious,
-		FirstSeen:     now,
-		LastSeen:      now,
-		ProbeStart:    now,
-		ProbeDeadline: deadline,
-	}
+	e := t.get()
+	e.LabelHash = labelHash
+	e.State = StateSuspicious
+	e.FirstSeen, e.LastSeen = now, now
+	e.ProbeStart, e.ProbeDeadline = now, deadline
 	t.sft[labelHash] = e
 	t.transitions[StateSuspicious]++
 	return e
@@ -149,7 +198,10 @@ func (t *Tables) InsertPermanent(labelHash uint64, now sim.Time) *Entry {
 		return e
 	}
 	t.makeRoom(t.pdt)
-	e := &Entry{LabelHash: labelHash, State: StatePermanentDrop, FirstSeen: now, LastSeen: now}
+	e := t.get()
+	e.LabelHash = labelHash
+	e.State = StatePermanentDrop
+	e.FirstSeen, e.LastSeen = now, now
 	t.pdt[labelHash] = e
 	t.transitions[StatePermanentDrop]++
 	return e
@@ -209,16 +261,37 @@ func (t *Tables) makeRoom(table map[uint64]*Entry) {
 	}
 	if victim != nil {
 		delete(table, victim.LabelHash)
+		t.put(victim)
 		t.evictions++
 	}
 }
 
+// Reset returns the tables to their just-constructed state: every entry is
+// flushed and the cumulative eviction and transition counters are zeroed.
+// Pools that recycle a Tables across owners use it so the next owner cannot
+// observe a previous run's statistics.
+func (t *Tables) Reset() {
+	t.Flush()
+	t.evictions = 0
+	t.transitions = [statePermanentDropIdx + 1]uint64{}
+}
+
 // Flush clears every table, as MAFIC does when the victim withdraws the
-// pushback request.
+// pushback request. Entries return to the free list; the maps keep their
+// storage so reactivation does not reallocate.
 func (t *Tables) Flush() {
-	t.sft = make(map[uint64]*Entry)
-	t.nft = make(map[uint64]*Entry)
-	t.pdt = make(map[uint64]*Entry)
+	for _, e := range t.sft {
+		t.put(e)
+	}
+	for _, e := range t.nft {
+		t.put(e)
+	}
+	for _, e := range t.pdt {
+		t.put(e)
+	}
+	clear(t.sft)
+	clear(t.nft)
+	clear(t.pdt)
 }
 
 // ExpiredSuspicious returns the SFT entries whose probing window has closed
@@ -232,6 +305,21 @@ func (t *Tables) ExpiredSuspicious(now sim.Time) []*Entry {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ProbeDeadline < out[j].ProbeDeadline })
 	return out
+}
+
+// Range calls fn for every tracked flow with the table it lives in.
+// Iteration order is unspecified. It is the allocation-free alternative to
+// Snapshot for end-of-run accounting.
+func (t *Tables) Range(fn func(labelHash uint64, state State)) {
+	for h := range t.sft {
+		fn(h, StateSuspicious)
+	}
+	for h := range t.nft {
+		fn(h, StateNice)
+	}
+	for h := range t.pdt {
+		fn(h, StatePermanentDrop)
+	}
 }
 
 // Snapshot returns the state of every tracked flow keyed by label hash.
@@ -260,4 +348,9 @@ func (t *Tables) Sizes() (sft, nft, pdt int) {
 func (t *Tables) Evictions() uint64 { return t.evictions }
 
 // Transitions reports how many entries have entered the given state.
-func (t *Tables) Transitions(to State) uint64 { return t.transitions[to] }
+func (t *Tables) Transitions(to State) uint64 {
+	if to < 0 || int(to) > statePermanentDropIdx {
+		return 0
+	}
+	return t.transitions[to]
+}

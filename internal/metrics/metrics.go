@@ -10,8 +10,6 @@
 package metrics
 
 import (
-	"sort"
-
 	"mafic/internal/core"
 	"mafic/internal/netsim"
 	"mafic/internal/sim"
@@ -65,7 +63,17 @@ type Collector struct {
 	// Queue drops anywhere in the network (not attributable to MAFIC).
 	queueDrops uint64
 
-	bins map[int64]*BandwidthPoint
+	// bins is the victim bandwidth time series, indexed densely by bin
+	// number (Time/binWidth). Quiet bins stay zero and are skipped by
+	// Series, so the dense layout is invisible in the reported output; it
+	// exists because a map of pointers allocated one BandwidthPoint per
+	// bin per run and put a hash lookup on the per-delivery hot path.
+	bins []BandwidthPoint
+
+	// tap is the arrival counter shared by every tapped router; the same
+	// filter instance can sit on many routers because its only state is
+	// the collector itself.
+	tap *arrivalTap
 }
 
 // NewCollector creates a collector with the given time-series bin width.
@@ -74,10 +82,7 @@ func NewCollector(binWidth sim.Time) *Collector {
 	if binWidth <= 0 {
 		binWidth = 50 * sim.Millisecond
 	}
-	return &Collector{
-		binWidth: binWidth,
-		bins:     make(map[int64]*BandwidthPoint),
-	}
+	return &Collector{binWidth: binWidth}
 }
 
 // MarkActivation records the instant the defence was activated. Arrivals and
@@ -115,9 +120,24 @@ func (t *arrivalTap) Handle(pkt *netsim.Packet, now sim.Time, _ *netsim.Router) 
 
 // TapRouter installs a passive arrival counter on the given router. It must
 // be attached before the defence filter so it sees packets the defence later
-// drops.
+// drops. All taps for the same victim share one filter instance.
 func (c *Collector) TapRouter(r *netsim.Router, victim netsim.IP) {
-	r.AttachFilter(&arrivalTap{collector: c, victimIP: victim})
+	if c.tap == nil || c.tap.victimIP != victim {
+		c.tap = &arrivalTap{collector: c, victimIP: victim}
+	}
+	r.AttachFilter(c.tap)
+}
+
+// ReserveSeries presizes the bandwidth time series for a run of the given
+// duration, so recording deliveries never grows the series mid-run.
+func (c *Collector) ReserveSeries(duration sim.Time) {
+	want := int(duration/c.binWidth) + 1
+	if duration <= 0 || cap(c.bins) >= want {
+		return
+	}
+	grown := make([]BandwidthPoint, len(c.bins), want)
+	copy(grown, c.bins)
+	c.bins = grown
 }
 
 func (c *Collector) noteATRArrival(pkt *netsim.Packet, now sim.Time) {
@@ -198,12 +218,11 @@ func (c *Collector) noteVictimDelivery(pkt *netsim.Packet, now sim.Time) {
 			c.victimLegitPre++
 		}
 	}
-	idx := int64(now / c.binWidth)
-	bin, ok := c.bins[idx]
-	if !ok {
-		bin = &BandwidthPoint{Time: sim.Time(idx) * c.binWidth}
-		c.bins[idx] = bin
+	idx := int(now / c.binWidth)
+	for len(c.bins) <= idx {
+		c.bins = append(c.bins, BandwidthPoint{Time: sim.Time(len(c.bins)) * c.binWidth})
 	}
+	bin := &c.bins[idx]
 	if pkt.Malicious {
 		bin.AttackPackets++
 	} else {
@@ -276,22 +295,25 @@ func (c *Collector) rateIn(from, to sim.Time) float64 {
 		return 0
 	}
 	var count uint64
-	for idx, bin := range c.bins {
-		start := sim.Time(idx) * c.binWidth
+	for i := range c.bins {
+		start := c.bins[i].Time
 		if start >= from && start < to {
-			count += bin.Total()
+			count += c.bins[i].Total()
 		}
 	}
 	return sim.Rate(float64(count), from, to)
 }
 
 // Series returns the victim bandwidth time series in chronological order.
+// Bins in which nothing was delivered are omitted, exactly as when the
+// series was stored sparsely.
 func (c *Collector) Series() []BandwidthPoint {
 	out := make([]BandwidthPoint, 0, len(c.bins))
 	for _, bin := range c.bins {
-		out = append(out, *bin)
+		if bin.Total() > 0 {
+			out = append(out, bin)
+		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Time < out[j].Time })
 	return out
 }
 

@@ -21,8 +21,10 @@ type Host struct {
 
 	accessRouter NodeID
 
-	// handlers dispatches received packets by the label they carry.
-	handlers map[FlowLabel]PacketHandler
+	// nHandlers counts the labels registered for this host in the
+	// network's shared handler registry; zero lets pure-sink hosts skip
+	// the registry lookup entirely on delivery.
+	nHandlers int
 	// defaultHandler receives packets with no registered label handler.
 	defaultHandler PacketHandler
 
@@ -66,16 +68,21 @@ func (h *Host) AttachTo(router NodeID) { h.accessRouter = router }
 func (h *Host) AccessRouter() NodeID { return h.accessRouter }
 
 // Register installs a handler for packets carrying the given label.
+// Handlers live in a network-wide registry keyed by (host, label), so
+// registering costs no per-host allocation.
 func (h *Host) Register(label FlowLabel, fn PacketHandler) {
-	if h.handlers == nil {
-		h.handlers = make(map[FlowLabel]PacketHandler)
+	if h.net.handlerFor(h.id, label) == nil {
+		h.nHandlers++
 	}
-	h.handlers[label] = fn
+	h.net.registerHandler(h.id, label, fn)
 }
 
 // Unregister removes the handler for the given label.
 func (h *Host) Unregister(label FlowLabel) {
-	delete(h.handlers, label)
+	if h.net.handlerFor(h.id, label) != nil {
+		h.nHandlers--
+	}
+	h.net.unregisterHandler(h.id, label)
 }
 
 // SetDefaultHandler installs the handler used when no per-label handler
@@ -89,12 +96,20 @@ func (h *Host) Deliver(pkt *Packet, _ NodeID) {
 	now := h.net.Now()
 	h.received++
 	h.net.noteDeliver(pkt, h, now)
-	if fn, ok := h.handlers[pkt.Label]; ok {
+	if fn := h.labelHandler(pkt.Label); fn != nil {
 		fn(pkt, now)
 	} else if h.defaultHandler != nil {
 		h.defaultHandler(pkt, now)
 	}
 	h.net.FreePacket(pkt)
+}
+
+// labelHandler resolves the per-label handler for a received packet, if any.
+func (h *Host) labelHandler(label FlowLabel) PacketHandler {
+	if h.nHandlers == 0 {
+		return nil
+	}
+	return h.net.handlerFor(h.id, label)
 }
 
 // Send emits a packet from this host toward its destination via the host's

@@ -82,14 +82,44 @@ type Network struct {
 	linkSlab   []Link
 	linkUsed   int
 
+	// Dense-row slabs: adjacency rows and per-router route tables are
+	// sizeHint-wide arrays, carved from multi-row chunks so reserved
+	// domain construction costs O(rows/denseRowChunk) allocations for
+	// them instead of one each.
+	adjSlab   []*Link
+	routeSlab []NodeID
+
+	// filterSlab backs the routers' filter chains; chains are tiny (tap
+	// plus at most one defence), so carving them avoids a per-router
+	// allocation.
+	filterSlab []Filter
+
+	// ipSlab backs the hosts' address slices; nearly every host owns
+	// exactly one address, so carving them avoids a per-host allocation.
+	ipSlab []IP
+
+	// handlers dispatches host-received packets by (host, label). One
+	// network-wide map replaces a lazily allocated map per host; hosts
+	// flag whether they registered anything so pure sinks skip the lookup.
+	handlers map[handlerKey]PacketHandler
+
 	hooks Hooks
+}
+
+// handlerKey identifies one host's per-label packet handler.
+type handlerKey struct {
+	host  NodeID
+	label FlowLabel
 }
 
 // Slab chunk sizes. Packets churn fastest and get the largest chunk.
 const (
-	pktChunk  = 256
-	nodeChunk = 64
-	linkChunk = 128
+	pktChunk      = 256
+	nodeChunk     = 64
+	linkChunk     = 128
+	denseRowChunk = 64
+	filterChunk   = 64
+	ipChunk       = 64
 )
 
 // nodeSlabSize picks the chunk size for a node slab: at least nodeChunk, at
@@ -135,6 +165,81 @@ func (n *Network) linkSlot() *Link {
 	l := &n.linkSlab[n.linkUsed]
 	n.linkUsed++
 	return l
+}
+
+// carveAdjRow carves one sizeHint-wide adjacency row from the slab.
+func (n *Network) carveAdjRow() []*Link {
+	if len(n.adjSlab) < n.sizeHint {
+		n.adjSlab = make([]*Link, denseRowChunk*n.sizeHint)
+	}
+	row := n.adjSlab[:n.sizeHint:n.sizeHint]
+	n.adjSlab = n.adjSlab[n.sizeHint:]
+	return row
+}
+
+// carveRouteRow carves one sizeHint-wide route table, filled with NoNode.
+func (n *Network) carveRouteRow() []NodeID {
+	if len(n.routeSlab) < n.sizeHint {
+		n.routeSlab = make([]NodeID, denseRowChunk*n.sizeHint)
+	}
+	row := n.routeSlab[:n.sizeHint:n.sizeHint]
+	n.routeSlab = n.routeSlab[n.sizeHint:]
+	for i := range row {
+		row[i] = NoNode
+	}
+	return row
+}
+
+// growFilters returns a filter slice with room for two more entries, carved
+// from the filter slab, with old's contents copied in.
+func (n *Network) growFilters(old []Filter) []Filter {
+	want := len(old) + 2
+	if len(n.filterSlab) < want {
+		size := filterChunk
+		if want > size {
+			size = want
+		}
+		n.filterSlab = make([]Filter, size)
+	}
+	grown := n.filterSlab[:len(old):want]
+	n.filterSlab = n.filterSlab[want:]
+	copy(grown, old)
+	return grown
+}
+
+// carveIPs copies ips into slab-backed storage with one slot of headroom,
+// so RegisterIP of a second address stays in place.
+func (n *Network) carveIPs(ips []IP) []IP {
+	want := len(ips) + 1
+	if len(n.ipSlab) < want {
+		size := ipChunk
+		if want > size {
+			size = want
+		}
+		n.ipSlab = make([]IP, size)
+	}
+	s := n.ipSlab[:len(ips):want]
+	n.ipSlab = n.ipSlab[want:]
+	copy(s, ips)
+	return s
+}
+
+// registerHandler installs fn for packets carrying label at the given host.
+func (n *Network) registerHandler(host NodeID, label FlowLabel, fn PacketHandler) {
+	if n.handlers == nil {
+		n.handlers = make(map[handlerKey]PacketHandler)
+	}
+	n.handlers[handlerKey{host: host, label: label}] = fn
+}
+
+// unregisterHandler removes the handler for (host, label).
+func (n *Network) unregisterHandler(host NodeID, label FlowLabel) {
+	delete(n.handlers, handlerKey{host: host, label: label})
+}
+
+// handlerFor returns the handler registered for (host, label), or nil.
+func (n *Network) handlerFor(host NodeID, label FlowLabel) PacketHandler {
+	return n.handlers[handlerKey{host: host, label: label}]
 }
 
 // New creates an empty network bound to the given scheduler and RNG.
@@ -247,10 +352,7 @@ func (n *Network) AddRouter(name string) *Router {
 		name: name,
 	}
 	if n.sizeHint > 0 {
-		r.routes = make([]NodeID, n.sizeHint)
-		for i := range r.routes {
-			r.routes[i] = NoNode
-		}
+		r.routes = n.carveRouteRow()
 	}
 	n.routers[r.id] = r
 	n.nodes[r.id].router = r
@@ -266,7 +368,7 @@ func (n *Network) AddHost(name string, ips ...IP) *Host {
 		net:  n,
 		id:   n.allocateNodeID(),
 		name: name,
-		ips:  append([]IP(nil), ips...),
+		ips:  n.carveIPs(ips),
 	}
 	n.hosts[h.id] = h
 	n.nodes[h.id].host = h
@@ -336,7 +438,9 @@ func (n *Network) Connect(from, to NodeID, cfg LinkConfig) (*Link, error) {
 	row := n.adj[from]
 	if int(to) >= len(row) {
 		// Grow the row once to the reserved domain size (or the current
-		// node count) rather than element by element.
+		// node count) rather than element by element. Reserved-size rows
+		// come from the row slab; only rows beyond the reservation (or on
+		// unreserved networks) are allocated individually.
 		want := int(to) + 1
 		if n.sizeHint > want {
 			want = n.sizeHint
@@ -344,7 +448,12 @@ func (n *Network) Connect(from, to NodeID, cfg LinkConfig) (*Link, error) {
 		if nc := len(n.nodes); nc > want {
 			want = nc
 		}
-		grown := make([]*Link, want)
+		var grown []*Link
+		if want == n.sizeHint {
+			grown = n.carveAdjRow()
+		} else {
+			grown = make([]*Link, want)
+		}
 		copy(grown, row)
 		row = grown
 	}

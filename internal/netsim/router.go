@@ -108,10 +108,16 @@ func (r *Router) Route(dest NodeID) NodeID {
 // RouteCount reports how many destinations the router can reach.
 func (r *Router) RouteCount() int { return r.routeCount }
 
-// AttachFilter appends a filter to the router's processing chain.
+// AttachFilter appends a filter to the router's processing chain. Chain
+// storage is carved from a network-level slab: chains are tiny (an arrival
+// tap plus at most one defence), so per-router allocations would dominate
+// domain construction.
 func (r *Router) AttachFilter(f Filter) {
 	if f == nil {
 		return
+	}
+	if len(r.filters) == cap(r.filters) {
+		r.filters = r.net.growFilters(r.filters)
 	}
 	r.filters = append(r.filters, f)
 }

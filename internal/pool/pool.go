@@ -1,0 +1,54 @@
+// Package pool provides the mutex-guarded free list the engine's recycled
+// objects (traffic sources, defenders, topology arenas, schedulers) share.
+//
+// It is deliberately not sync.Pool: the garbage collector empties a
+// sync.Pool between runs, which defeats the point of keeping warmed-up
+// objects alive from one simulation run to the next. At a handful of
+// get/put pairs per run the mutex cost is irrelevant, and a bounded LIFO
+// list keeps reuse deterministic-enough while capping retained memory.
+package pool
+
+import "sync"
+
+// DefaultCap bounds a FreeList whose Cap field is left zero.
+const DefaultCap = 1024
+
+// FreeList is a mutex-guarded LIFO free list of *T. The zero value is ready
+// to use. Objects are stored as-is: callers are responsible for fully
+// resetting an object either on Put or on reuse after Get, so that pooling
+// can never leak state between owners.
+type FreeList[T any] struct {
+	// Cap bounds the list; Put drops objects beyond it (they fall to the
+	// garbage collector). Zero means DefaultCap.
+	Cap int
+
+	mu   sync.Mutex
+	free []*T
+}
+
+// Get pops the most recently Put object, or returns nil when the list is
+// empty.
+func (p *FreeList[T]) Get() *T {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n := len(p.free); n > 0 {
+		x := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return x
+	}
+	return nil
+}
+
+// Put returns an object to the list, dropping it when the list is full.
+func (p *FreeList[T]) Put(x *T) {
+	limit := p.Cap
+	if limit <= 0 {
+		limit = DefaultCap
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.free) < limit {
+		p.free = append(p.free, x)
+	}
+}

@@ -1,0 +1,51 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine replaces the role NS-2 plays in the original MAFIC evaluation:
+// it maintains a virtual clock, an ordered event queue, and a seeded source
+// of randomness so that every experiment in this repository is reproducible
+// bit-for-bit from its configuration.
+//
+// # Event pooling
+//
+// Events live in a pooled arena and are recycled through a free list the
+// moment an event fires or a cancelled event is discarded, so a steady-state
+// simulation schedules without allocating. Every slot carries a generation
+// counter: an EventRef captures the generation at scheduling time, which
+// makes cancelling an already-fired (and possibly re-occupied) slot a
+// detectable no-op rather than a use-after-free on the next occupant.
+//
+// Hot callers should prefer the EventHandler / ArgHandler interface variants
+// (ScheduleHandlerAt, ScheduleArgAt) over closure Handlers: a component
+// implements the interface once and schedules itself with zero per-event
+// allocations, attaching a pointer payload through the arg slot for free.
+//
+// # Calendar-queue scheduling
+//
+// The default priority queue is a calendar queue (R. Brown, CACM 1988):
+// virtual time is divided into fixed-width windows mapped round-robin onto a
+// power-of-two number of buckets, each bucket holding its events sorted by
+// (time, sequence). Inserting indexes straight into the destination bucket
+// and popping scans forward from the current window, so both operations are
+// O(1) amortized — unlike a binary heap's O(log n) — which matters because
+// event dispatch itself was the dominant CPU cost of large runs.
+//
+// Bucket sizing is self-tuning. The bucket count tracks the pending-event
+// count (growing past two entries per bucket, shrinking below a quarter,
+// with a power-of-two floor), keeping average occupancy near one. The bucket
+// width tracks the average inter-event spacing observed at dequeue, checked
+// every few thousand pops and rebuilt only when it has drifted at least 2x,
+// so a workload with stable spacing settles after one retune and never
+// rebuilds again. Both decisions are pure functions of the operation
+// sequence — no wall clock, no randomness — so runs stay deterministic.
+//
+// # Determinism rules
+//
+// Dispatch order is total: events fire in ascending (time, sequence) order,
+// where the sequence number is assigned at scheduling time. Ties at the same
+// instant therefore fire in FIFO scheduling order, on every backend. The
+// previous 4-ary min-heap is retained behind SchedulerConfig{Backend:
+// BackendHeap} as the ordering oracle: equivalence tests drive identical
+// event sequences through both backends and require identical dispatch, and
+// the experiment layer's invariance suite reruns the whole scenario catalog
+// on the heap to prove results are bit-identical.
+package sim

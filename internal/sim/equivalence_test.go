@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// backends lists every queue backend under test, calendar (the default)
+// first. Equivalence tests compare the others against BackendHeap, the
+// ordering oracle.
+var backends = []struct {
+	name    string
+	backend Backend
+}{
+	{name: "calendar", backend: BackendCalendar},
+	{name: "heap", backend: BackendHeap},
+}
+
+// eqRec is one dispatched event of an equivalence script: the virtual time
+// it fired at and its creation-order identity.
+type eqRec struct {
+	at Time
+	id int
+}
+
+// runEquivScript drives a pseudo-random event workload — initial burst,
+// events scheduling further events, same-timestamp bursts, and random
+// cancellations — through a scheduler with the given backend and returns
+// the dispatch sequence. Every random choice is drawn from a scheduler-local
+// RNG consumed in dispatch order, so two backends produce identical scripts
+// exactly as long as they dispatch identically; the first divergence
+// cascades into the recorded sequences and fails the comparison.
+func runEquivScript(t *testing.T, backend Backend, seed int64, spread int) []eqRec {
+	t.Helper()
+	s := NewSchedulerWith(SchedulerConfig{Backend: backend})
+	rng := NewRNG(seed)
+
+	var fired []eqRec
+	var refs []EventRef
+	nextID := 0
+	budget := 20000
+
+	var newEvent func(at Time)
+	newEvent = func(at Time) {
+		id := nextID
+		nextID++
+		refs = append(refs, s.ScheduleAt(at, func(now Time) {
+			fired = append(fired, eqRec{at: now, id: id})
+			// Chain: most events schedule successors, stressing inserts
+			// into an actively draining queue.
+			for k := rng.Intn(3); k > 0 && budget > 0; k-- {
+				budget--
+				newEvent(now + Time(rng.Intn(spread)))
+			}
+			// Same-timestamp burst: FIFO tie-breaking must hold.
+			if rng.Intn(4) == 0 && budget > 0 {
+				budget--
+				newEvent(now)
+			}
+			// Random cancellation, including of already-fired refs
+			// (which must be a no-op on every backend).
+			if rng.Intn(3) == 0 {
+				refs[rng.Intn(len(refs))].Cancel()
+			}
+		}))
+	}
+	for i := 0; i < 500; i++ {
+		newEvent(Time(rng.Intn(spread)))
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return fired
+}
+
+// TestBackendEquivalence is the scheduler-level property test: identical
+// random event sequences (inserts, cancellations, same-timestamp bursts,
+// dynamic rescheduling) dispatched through the heap and the calendar queue
+// must yield identical order. The dense spread keeps many events per bucket;
+// the sparse spread forces empty-window scans, direct-search jumps and
+// width retunes.
+func TestBackendEquivalence(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		for _, spread := range []int{50, 200_000} {
+			t.Run(fmt.Sprintf("seed%d_spread%d", seed, spread), func(t *testing.T) {
+				oracle := runEquivScript(t, BackendHeap, seed, spread)
+				got := runEquivScript(t, BackendCalendar, seed, spread)
+				if len(got) != len(oracle) {
+					t.Fatalf("calendar fired %d events, heap fired %d", len(got), len(oracle))
+				}
+				for i := range oracle {
+					if got[i] != oracle[i] {
+						t.Fatalf("dispatch %d diverges: calendar %+v, heap %+v", i, got[i], oracle[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestScanRewindAfterRunUntil pins the calendar queue's re-anchoring path:
+// peeking at a far-future event advances the window scan; an event scheduled
+// afterwards at an earlier time must still fire first.
+func TestScanRewindAfterRunUntil(t *testing.T) {
+	for _, b := range backends {
+		t.Run(b.name, func(t *testing.T) {
+			s := NewSchedulerWith(SchedulerConfig{Backend: b.backend})
+			var fired []Time
+			record := func(now Time) { fired = append(fired, now) }
+			s.ScheduleAt(10*Second, record)
+			if err := s.RunUntil(1 * Second); err != nil {
+				t.Fatalf("run until: %v", err)
+			}
+			if len(fired) != 0 || s.Now() != 1*Second {
+				t.Fatalf("after RunUntil: fired %v, now %v", fired, s.Now())
+			}
+			s.ScheduleAt(1500*Millisecond, record)
+			if err := s.Run(); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			want := []Time{1500 * Millisecond, 10 * Second}
+			if len(fired) != 2 || fired[0] != want[0] || fired[1] != want[1] {
+				t.Fatalf("fired %v, want %v", fired, want)
+			}
+		})
+	}
+}
+
+// TestResetRecyclesScheduler verifies Reset discards pending events,
+// invalidates outstanding refs, restarts the clock, and leaves the scheduler
+// fully usable.
+func TestResetRecyclesScheduler(t *testing.T) {
+	for _, b := range backends {
+		t.Run(b.name, func(t *testing.T) {
+			s := NewSchedulerWith(SchedulerConfig{Backend: b.backend})
+			stale := false
+			ref := s.ScheduleAt(5, func(Time) { stale = true })
+			s.ScheduleAt(1, func(Time) {})
+			if err := s.RunUntil(2); err != nil {
+				t.Fatalf("run until: %v", err)
+			}
+
+			s.Reset()
+			if s.Now() != 0 || s.Len() != 0 || s.Processed() != 0 {
+				t.Fatalf("after reset: now %v len %d processed %d", s.Now(), s.Len(), s.Processed())
+			}
+			if ref.Pending() {
+				t.Fatal("ref to discarded event still pending")
+			}
+			ref.Cancel() // must be a detected-stale no-op
+
+			fired := false
+			s.ScheduleAt(3, func(Time) { fired = true })
+			if err := s.Run(); err != nil {
+				t.Fatalf("run after reset: %v", err)
+			}
+			if stale {
+				t.Fatal("event discarded by Reset fired anyway")
+			}
+			if !fired || s.Now() != 3 {
+				t.Fatalf("post-reset event: fired %v now %v", fired, s.Now())
+			}
+		})
+	}
+}

@@ -84,17 +84,41 @@ func (r EventRef) Pending() bool {
 	return ev.gen == r.gen && ev.state == eventQueued
 }
 
-// heapEnt is one entry of the scheduler's 4-ary min-heap. The sort key
-// (at, seq) is stored inline so comparisons never chase into the event arena.
-type heapEnt struct {
+// timedEnt is one priority-queue entry, shared by both queue backends. The
+// sort key (at, seq) is stored inline so comparisons never chase into the
+// event arena.
+type timedEnt struct {
 	at  Time
 	seq uint64
 	idx int32
 }
 
-// entLess orders heap entries by (time, sequence number).
-func entLess(a, b heapEnt) bool {
+// entLess orders queue entries by (time, sequence number).
+func entLess(a, b timedEnt) bool {
 	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
+}
+
+// Backend selects the scheduler's priority-queue implementation. Both
+// backends dispatch events in exactly the same (time, seq) order, so results
+// are bit-identical; they differ only in cost profile.
+type Backend uint8
+
+// Queue backends.
+const (
+	// BackendCalendar is the default: a self-resizing calendar queue with
+	// O(1) amortized insert and pop. See calendarQueue.
+	BackendCalendar Backend = iota
+	// BackendHeap is the 4-ary min-heap the engine used before the
+	// calendar queue landed. It is kept as the ordering oracle for
+	// equivalence and invariance tests.
+	BackendHeap
+)
+
+// SchedulerConfig tunes a Scheduler. The zero value selects the calendar
+// queue; setting Backend to BackendHeap is the escape hatch invariance tests
+// use to prove both backends dispatch identically.
+type SchedulerConfig struct {
+	Backend Backend
 }
 
 // Scheduler is a single-threaded discrete-event scheduler. It is not safe
@@ -108,7 +132,10 @@ type Scheduler struct {
 
 	events   []event
 	freeHead int32
-	heap     []heapEnt
+
+	backend Backend
+	heap    []timedEnt
+	cal     calendarQueue
 
 	seq     uint64
 	stopped bool
@@ -117,9 +144,44 @@ type Scheduler struct {
 	processed uint64
 }
 
-// NewScheduler returns a scheduler with its clock at zero and an empty queue.
+// NewScheduler returns a scheduler with its clock at zero, an empty queue
+// and the default (calendar-queue) backend.
 func NewScheduler() *Scheduler {
-	return &Scheduler{freeHead: -1}
+	return NewSchedulerWith(SchedulerConfig{})
+}
+
+// NewSchedulerWith returns a scheduler using the configured queue backend.
+func NewSchedulerWith(cfg SchedulerConfig) *Scheduler {
+	return &Scheduler{freeHead: -1, backend: cfg.Backend}
+}
+
+// Backend reports which queue backend the scheduler runs on.
+func (s *Scheduler) Backend() Backend { return s.backend }
+
+// Reset returns the scheduler to its initial state — clock at zero, empty
+// queue, sequence counter restarted — while keeping the event arena and
+// queue storage (and the calendar queue's tuned geometry) for reuse. Any
+// still-pending events are discarded; every outstanding EventRef is
+// invalidated via the usual generation bump. Callers that recycle
+// schedulers across simulation runs use this to amortise the arena away.
+func (s *Scheduler) Reset() {
+	s.freeHead = -1
+	for i := len(s.events) - 1; i >= 0; i-- {
+		ev := &s.events[i]
+		if ev.state != eventFree {
+			ev.gen++
+		}
+		ev.state = eventFree
+		ev.fn, ev.ah, ev.arg, ev.h = nil, nil, nil, nil
+		ev.nextFree = s.freeHead
+		s.freeHead = int32(i)
+	}
+	s.heap = s.heap[:0]
+	s.cal.reset()
+	s.now = 0
+	s.seq = 0
+	s.stopped = false
+	s.processed = 0
 }
 
 // Now reports the current virtual time.
@@ -127,7 +189,43 @@ func (s *Scheduler) Now() Time { return s.now }
 
 // Len reports the number of pending events (including cancelled ones that
 // have not yet been discarded).
-func (s *Scheduler) Len() int { return len(s.heap) }
+func (s *Scheduler) Len() int {
+	if s.backend == BackendHeap {
+		return len(s.heap)
+	}
+	return s.cal.count
+}
+
+// push inserts an entry into the configured queue backend.
+func (s *Scheduler) push(e timedEnt) {
+	if s.backend == BackendHeap {
+		s.heapPush(e)
+	} else {
+		s.cal.insert(e)
+	}
+}
+
+// peekMin returns the minimal pending entry without removing it.
+func (s *Scheduler) peekMin() (timedEnt, bool) {
+	if s.backend == BackendHeap {
+		if len(s.heap) == 0 {
+			return timedEnt{}, false
+		}
+		return s.heap[0], true
+	}
+	return s.cal.peek()
+}
+
+// popMin removes and returns the minimal pending entry. The caller must
+// have checked Len() > 0.
+func (s *Scheduler) popMin() timedEnt {
+	if s.backend == BackendHeap {
+		top := s.heap[0]
+		s.heapPop()
+		return top
+	}
+	return s.cal.pop()
+}
 
 // Processed reports how many events have fired so far.
 func (s *Scheduler) Processed() uint64 { return s.processed }
@@ -166,7 +264,7 @@ func (s *Scheduler) schedule(at Time, fn Handler, ah ArgHandler, arg any, h Even
 	ev.seq = s.seq
 	ev.fn, ev.ah, ev.arg, ev.h = fn, ah, arg, h
 	ev.state = eventQueued
-	s.heapPush(heapEnt{at: at, seq: s.seq, idx: idx})
+	s.push(timedEnt{at: at, seq: s.seq, idx: idx})
 	s.seq++
 	return EventRef{s: s, idx: idx, gen: ev.gen}
 }
@@ -227,7 +325,7 @@ func (s *Scheduler) ScheduleArgAfter(delay Time, h ArgHandler, arg any) EventRef
 }
 
 // heapPush inserts an entry into the 4-ary min-heap.
-func (s *Scheduler) heapPush(e heapEnt) {
+func (s *Scheduler) heapPush(e timedEnt) {
 	h := append(s.heap, e)
 	i := len(h) - 1
 	for i > 0 {
@@ -280,9 +378,8 @@ func (s *Scheduler) Stop() { s.stopped = true }
 
 // step pops and runs the next event. It reports false when the queue is empty.
 func (s *Scheduler) step() bool {
-	for len(s.heap) > 0 {
-		top := s.heap[0]
-		s.heapPop()
+	for s.Len() > 0 {
+		top := s.popMin()
 		ev := &s.events[top.idx]
 		if ev.state != eventQueued {
 			// Cancelled while queued: recycle the slot and keep going.
@@ -326,10 +423,8 @@ func (s *Scheduler) Run() error {
 func (s *Scheduler) RunUntil(deadline Time) error {
 	s.stopped = false
 	for !s.stopped {
-		if len(s.heap) == 0 {
-			break
-		}
-		if s.heap[0].at > deadline {
+		top, ok := s.peekMin()
+		if !ok || top.at > deadline {
 			break
 		}
 		if !s.step() {

@@ -1,24 +1,3 @@
-// Package sim provides a deterministic discrete-event simulation engine.
-//
-// The engine replaces the role NS-2 plays in the original MAFIC evaluation:
-// it maintains a virtual clock, an ordered event queue, and a seeded source
-// of randomness so that every experiment in this repository is reproducible
-// bit-for-bit from its configuration.
-//
-// # Event pooling and scheduling
-//
-// The scheduler stores events in a pooled arena ordered by a 4-ary min-heap
-// specialised to (Time, sequence) keys. Slots are recycled through a free
-// list the moment an event fires or a cancelled event is discarded, so a
-// steady-state simulation schedules without allocating. Every slot carries a
-// generation counter: an EventRef captures the generation at scheduling time,
-// which makes cancelling an already-fired (and possibly re-occupied) slot a
-// detectable no-op rather than a use-after-free on the next occupant.
-//
-// Hot callers should prefer the EventHandler / ArgHandler interface variants
-// (ScheduleHandlerAt, ScheduleArgAt) over closure Handlers: a component
-// implements the interface once and schedules itself with zero per-event
-// allocations, attaching a pointer payload through the arg slot for free.
 package sim
 
 import (

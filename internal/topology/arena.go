@@ -1,6 +1,8 @@
 package topology
 
 import (
+	"fmt"
+
 	"mafic/internal/netsim"
 )
 
@@ -27,6 +29,26 @@ type Arena struct {
 	ingressOf    []*netsim.Router
 
 	route routeScratch
+	names nameCache
+}
+
+// nameCache memoises the generated node names ("r17", "client3", ...) so
+// rebuilds through the same arena hand out the same strings instead of
+// reformatting one per node per build.
+type nameCache struct {
+	routers    []string
+	clients    []string
+	zombies    []string
+	bystanders []string
+	victims    []string
+}
+
+// name returns prefix+i, generating and caching any missing entries.
+func name(list *[]string, prefix string, i int) string {
+	for len(*list) <= i {
+		*list = append(*list, fmt.Sprintf("%s%d", prefix, len(*list)))
+	}
+	return (*list)[i]
 }
 
 // NewArena returns an empty arena ready for Build.

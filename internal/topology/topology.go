@@ -290,7 +290,7 @@ func (a *Arena) Build(cfg Config, sched *sim.Scheduler, rng *sim.RNG) (*Domain, 
 	a.recycle(d)
 
 	for i := 0; i < cfg.NumRouters; i++ {
-		d.Routers = append(d.Routers, net.AddRouter(fmt.Sprintf("r%d", i)))
+		d.Routers = append(d.Routers, net.AddRouter(name(&a.names.routers, "r", i)))
 	}
 
 	// Wire the router graph and pick the ingress set per style.
@@ -339,7 +339,7 @@ func (a *Arena) Build(cfg Config, sched *sim.Scheduler, rng *sim.RNG) (*Domain, 
 			return nil, fmt.Errorf("%w: not enough routers for %d extra victims", ErrConfig, cfg.ExtraVictims)
 		}
 		taken[attach.ID()] = true
-		h := net.AddHost(fmt.Sprintf("victim%d", k+2), ipFrom(10, 0, 0, byte(2+k)))
+		h := net.AddHost(name(&a.names.victims, "victim", k+2), ipFrom(10, 0, 0, byte(2+k)))
 		h.AttachTo(attach.ID())
 		if err := net.ConnectDuplex(h.ID(), attach.ID(), cfg.VictimLink); err != nil {
 			return nil, fmt.Errorf("extra victim link: %w", err)
@@ -354,7 +354,7 @@ func (a *Arena) Build(cfg Config, sched *sim.Scheduler, rng *sim.RNG) (*Domain, 
 	clientIdx, zombieIdx := 0, 0
 	for gi, ing := range d.Ingress {
 		for c := 0; c < cfg.ClientsPerIngress; c++ {
-			h := net.AddHost(fmt.Sprintf("client%d", clientIdx), ipFrom(192, 168, byte(gi), byte(10+c)))
+			h := net.AddHost(name(&a.names.clients, "client", clientIdx), ipFrom(192, 168, byte(gi), byte(10+c)))
 			clientIdx++
 			h.AttachTo(ing.ID())
 			if err := net.ConnectDuplex(h.ID(), ing.ID(), cfg.AccessLink); err != nil {
@@ -364,7 +364,7 @@ func (a *Arena) Build(cfg Config, sched *sim.Scheduler, rng *sim.RNG) (*Domain, 
 			d.setIngressOf(h, ing)
 		}
 		for z := 0; z < cfg.ZombiesPerIngress; z++ {
-			h := net.AddHost(fmt.Sprintf("zombie%d", zombieIdx), ipFrom(172, 16, byte(gi), byte(10+z)))
+			h := net.AddHost(name(&a.names.zombies, "zombie", zombieIdx), ipFrom(172, 16, byte(gi), byte(10+z)))
 			zombieIdx++
 			h.AttachTo(ing.ID())
 			if err := net.ConnectDuplex(h.ID(), ing.ID(), cfg.AccessLink); err != nil {
@@ -379,7 +379,7 @@ func (a *Arena) Build(cfg Config, sched *sim.Scheduler, rng *sim.RNG) (*Domain, 
 	// addresses form the spoof pool.
 	for b := 0; b < cfg.BystanderHosts; b++ {
 		attach := d.Routers[rng.Intn(cfg.NumRouters)]
-		h := net.AddHost(fmt.Sprintf("bystander%d", b), ipFrom(203, 0, byte(b/250), byte(b%250+1)))
+		h := net.AddHost(name(&a.names.bystanders, "bystander", b), ipFrom(203, 0, byte(b/250), byte(b%250+1)))
 		h.AttachTo(attach.ID())
 		if err := net.ConnectDuplex(h.ID(), attach.ID(), cfg.AccessLink); err != nil {
 			return nil, fmt.Errorf("bystander link: %w", err)

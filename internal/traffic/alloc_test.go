@@ -1,0 +1,88 @@
+package traffic
+
+import (
+	"testing"
+
+	"mafic/internal/sim"
+)
+
+// TestFlowLifecycleSteadyStateDoesNotAllocate pins the pooled flow
+// lifecycle: once each pool holds a released object, a full
+// construct/start/stop/release cycle — TCP and rolling-pulse sources alike —
+// performs no heap allocation. This is what lets sweeps churn through
+// thousands of flow starts without touching the allocator.
+func TestFlowLifecycleSteadyStateDoesNotAllocate(t *testing.T) {
+	d := testDomain(t)
+	sched := d.Net.Scheduler()
+	victim := d.VictimIP()
+	client := d.Clients[0]
+	zombie := d.Zombies[0]
+	tcpCfg := DefaultTCPConfig()
+	rotCfg := RotatingConfig{PeakRate: 100, SlotLength: 10 * sim.Millisecond, Groups: 2}
+	rng := sim.NewRNG(9)
+
+	cycle := func() {
+		tcp := NewTCPSource(1, tcpCfg, client, victim, 10001)
+		rot := NewRotatingSource(2, rotCfg, zombie, victim, 10002, rng)
+		tcp.Start(sched.Now())
+		rot.Start(sched.Now())
+		tcp.Stop()
+		rot.Stop()
+		// Drain the cancelled start events so the scheduler arena stays
+		// at its steady-state size.
+		if err := sched.Run(); err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+		tcp.Release()
+		rot.Release()
+	}
+	// Warm-up: populate the pools and the scheduler arena.
+	for i := 0; i < 4; i++ {
+		cycle()
+	}
+
+	if allocs := testing.AllocsPerRun(100, cycle); allocs != 0 {
+		t.Fatalf("steady-state flow lifecycle allocated %.1f times per cycle", allocs)
+	}
+}
+
+// TestReleasedTCPSourceIsFullyReset guards pooling hygiene: a source reused
+// from the pool must behave exactly like a freshly allocated one — counters
+// zeroed, window back at the initial value, handler re-registered on the new
+// host.
+func TestReleasedTCPSourceIsFullyReset(t *testing.T) {
+	d := testDomain(t)
+	NewVictimServer(d.Victim, 0)
+	cfg := DefaultTCPConfig()
+
+	first := NewTCPSource(1, cfg, d.Clients[0], d.VictimIP(), 10001)
+	first.Start(0)
+	if err := d.Net.Scheduler().RunUntil(1 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	first.Stop()
+	if first.PacketsSent() == 0 || first.AcksReceived() == 0 {
+		t.Fatal("first lifetime saw no traffic")
+	}
+	first.Release()
+
+	second := NewTCPSource(2, cfg, d.Clients[1], d.VictimIP(), 10002)
+	if second != first {
+		t.Skip("pool handed out a different object; reset not observable")
+	}
+	if second.PacketsSent() != 0 || second.AcksReceived() != 0 || second.Window() != cfg.InitialWindow {
+		t.Fatalf("reused source kept state: sent %d acked %d window %v",
+			second.PacketsSent(), second.AcksReceived(), second.Window())
+	}
+	second.Start(d.Net.Scheduler().Now())
+	if err := d.Net.Scheduler().RunUntil(d.Net.Scheduler().Now() + 1*sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	second.Stop()
+	if second.PacketsSent() == 0 || second.AcksReceived() == 0 {
+		t.Fatal("reused source did not function after reset")
+	}
+	if second.Label().SrcIP != d.Clients[1].PrimaryIP() {
+		t.Fatal("reused source kept the previous host's label")
+	}
+}

@@ -1,0 +1,21 @@
+package traffic
+
+import "mafic/internal/pool"
+
+// Releasable is implemented by pooled flow types. Release returns the flow
+// object to its package pool so a later workload build can reuse it instead
+// of allocating; the flow must already be stopped and must not be touched
+// afterwards. Workload.Release releases every pooled flow of a finished run.
+//
+// Pooled objects are fully reinitialised on reuse, so reuse can never leak
+// state between runs — the experiment invariance suite pins this by
+// comparing pooled and fresh runs bit-for-bit.
+type Releasable interface{ Release() }
+
+// tcpPool and rotatingPool recycle flow objects across workload builds,
+// including across the workers of a parallel sweep. The caps bound retained
+// memory against a pathological burst of releases.
+var (
+	tcpPool      = pool.FreeList[TCPSource]{Cap: 1 << 14}
+	rotatingPool = pool.FreeList[RotatingSource]{Cap: 1 << 14}
+)

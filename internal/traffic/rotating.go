@@ -50,13 +50,22 @@ type RotatingSource struct {
 	slots      uint64
 	sendEvent  sim.EventRef
 	phaseEvent sim.EventRef
+
+	// beginSlotFn and endSlotFn are per-object method/closure values,
+	// materialised once so the per-slot scheduling path never allocates.
+	beginSlotFn sim.Handler
+	endSlotFn   sim.Handler
 }
 
-var _ Flow = (*RotatingSource)(nil)
+var (
+	_ Flow       = (*RotatingSource)(nil)
+	_ Releasable = (*RotatingSource)(nil)
+)
 
 // NewRotatingSource creates one rolling-pulse attack flow on the given zombie
 // host. Invalid configuration fields are clamped to usable values so a
-// workload builder can always construct a runnable flow.
+// workload builder can always construct a runnable flow. The object comes
+// from a package pool when a released source is available.
 func NewRotatingSource(id int, cfg RotatingConfig, zombie *netsim.Host, victim netsim.IP, srcPort uint16, rng *sim.RNG) *RotatingSource {
 	if cfg.PacketSize <= 0 {
 		cfg.PacketSize = DefaultDataSize
@@ -74,15 +83,34 @@ func NewRotatingSource(id int, cfg RotatingConfig, zombie *netsim.Host, victim n
 		cfg.Group = 0
 	}
 	label := attackSourceLabel(zombie, victim, srcPort, cfg.Spoof, cfg.SpoofedIP)
-	return &RotatingSource{
-		id:        id,
-		cfg:       cfg,
-		host:      zombie,
-		net:       zombie.Network(),
-		rng:       rng,
-		label:     label,
-		labelHash: label.Hash(),
+	s := rotatingPool.Get()
+	if s == nil {
+		s = &RotatingSource{}
+		s.beginSlotFn = s.beginSlot
+		s.endSlotFn = func(sim.Time) { s.inSlot = false }
 	}
+	*s = RotatingSource{
+		beginSlotFn: s.beginSlotFn,
+		endSlotFn:   s.endSlotFn,
+		id:          id,
+		cfg:         cfg,
+		host:        zombie,
+		net:         zombie.Network(),
+		rng:         rng,
+		label:       label,
+		labelHash:   label.Hash(),
+	}
+	return s
+}
+
+// Release implements Releasable: the source returns to the package pool for
+// reuse by a later workload build and must not be used afterwards.
+func (s *RotatingSource) Release() {
+	s.Stop()
+	s.host, s.net, s.rng = nil, nil, nil
+	s.sendEvent = sim.EventRef{}
+	s.phaseEvent = sim.EventRef{}
+	rotatingPool.Put(s)
 }
 
 // ID implements Flow.
@@ -118,7 +146,7 @@ func (s *RotatingSource) Start(at sim.Time) {
 	}
 	s.running = true
 	offset := sim.Time(int64(s.cfg.SlotLength) * int64(s.cfg.Group))
-	s.phaseEvent = s.net.Scheduler().ScheduleAt(at+offset, s.beginSlot)
+	s.phaseEvent = s.net.Scheduler().ScheduleAt(at+offset, s.beginSlotFn)
 }
 
 // OnEvent implements sim.EventHandler: the send timer fired.
@@ -141,8 +169,8 @@ func (s *RotatingSource) beginSlot(now sim.Time) {
 	s.inSlot = true
 	s.slots++
 	cycle := sim.Time(int64(s.cfg.SlotLength) * int64(s.cfg.Groups))
-	s.net.Scheduler().ScheduleAt(now+s.cfg.SlotLength, func(sim.Time) { s.inSlot = false })
-	s.phaseEvent = s.net.Scheduler().ScheduleAt(now+cycle, s.beginSlot)
+	s.net.Scheduler().ScheduleAt(now+s.cfg.SlotLength, s.endSlotFn)
+	s.phaseEvent = s.net.Scheduler().ScheduleAt(now+cycle, s.beginSlotFn)
 	// A send gap longer than the off-period leaves the previous chain's
 	// timer pending into this slot; cancel it so exactly one send chain is
 	// ever live and the rate cannot compound across cycles.

@@ -60,12 +60,20 @@ type TCPSource struct {
 	probeSeen  uint64
 	sendEvent  sim.EventRef
 	packetSize int
+
+	// reverseFn is the onReverse method value, materialised once per
+	// pooled object so re-registering a reused source allocates nothing.
+	reverseFn netsim.PacketHandler
 }
 
-var _ Flow = (*TCPSource)(nil)
+var (
+	_ Flow       = (*TCPSource)(nil)
+	_ Releasable = (*TCPSource)(nil)
+)
 
 // NewTCPSource creates a TCP-friendly source on the given host targeting the
-// victim address. srcPort disambiguates multiple flows from one host.
+// victim address. srcPort disambiguates multiple flows from one host. The
+// object comes from a package pool when a released source is available.
 func NewTCPSource(id int, cfg TCPConfig, host *netsim.Host, victim netsim.IP, srcPort uint16) *TCPSource {
 	if cfg.PacketSize <= 0 {
 		cfg.PacketSize = DefaultDataSize
@@ -76,11 +84,17 @@ func NewTCPSource(id int, cfg TCPConfig, host *netsim.Host, victim netsim.IP, sr
 	if cfg.SlowStartThreshold <= 0 {
 		cfg.SlowStartThreshold = 16
 	}
-	s := &TCPSource{
-		id:   id,
-		cfg:  cfg,
-		host: host,
-		net:  host.Network(),
+	s := tcpPool.Get()
+	if s == nil {
+		s = &TCPSource{}
+		s.reverseFn = s.onReverse
+	}
+	*s = TCPSource{
+		reverseFn: s.reverseFn,
+		id:        id,
+		cfg:       cfg,
+		host:      host,
+		net:       host.Network(),
 		label: netsim.FlowLabel{
 			SrcIP:   host.PrimaryIP(),
 			DstIP:   victim,
@@ -93,8 +107,21 @@ func NewTCPSource(id int, cfg TCPConfig, host *netsim.Host, victim netsim.IP, sr
 	}
 	s.labelHash = s.label.Hash()
 	// Receive ACKs, duplicate ACKs and probes addressed to this flow.
-	host.Register(s.label.Reverse(), s.onReverse)
+	host.Register(s.label.Reverse(), s.reverseFn)
 	return s
+}
+
+// Release implements Releasable: the source detaches from its host and
+// returns to the package pool for reuse by a later workload build. The
+// source must not be used afterwards.
+func (s *TCPSource) Release() {
+	s.Stop()
+	s.host.Unregister(s.label.Reverse())
+	// Drop every external reference so the pool pins neither the finished
+	// run's network nor its scheduler.
+	s.host, s.net = nil, nil
+	s.sendEvent = sim.EventRef{}
+	tcpPool.Put(s)
 }
 
 // ID implements Flow.

@@ -244,6 +244,18 @@ func (w *Workload) StopAll() {
 	}
 }
 
+// Release returns every pooled flow object to its package pool. Call it once
+// the run's metrics have been extracted; the workload and its flows must not
+// be used afterwards.
+func (w *Workload) Release() {
+	for _, f := range w.Flows {
+		if r, ok := f.(Releasable); ok {
+			r.Release()
+		}
+	}
+	w.Flows, w.Legitimate, w.Attack, w.Flash = nil, nil, nil, nil
+}
+
 // PacketsSent sums the data packets emitted by legitimate and attack flows.
 func (w *Workload) PacketsSent() (legit, attack uint64) {
 	for _, f := range w.Legitimate {
