@@ -45,10 +45,10 @@ bench-diff:
 	$(GO) run ./cmd/maficbench -out BENCH_current.json -diff BENCH_baseline.json
 
 # bench-smoke is the quick-mode regression gate CI runs on a schedule: only
-# the two headline benchmarks, with a looser tolerance to absorb shared-
-# runner noise. A failure here means a >25% regression slipped past review.
+# the headline benchmarks, with a looser tolerance to absorb shared-runner
+# noise. A failure here means a >25% regression slipped past review.
 bench-smoke:
-	$(GO) run ./cmd/maficbench -benchmarks table2,stress-1k -diff BENCH_baseline.json -tolerance 0.25
+	$(GO) run ./cmd/maficbench -benchmarks table2,stress-1k,stress-5k -diff BENCH_baseline.json -tolerance 0.25
 
 # profile runs the headline benchmark under the CPU and allocation profilers
 # so the next hotspot hunt starts from `go tool pprof cpu.pprof` instead of

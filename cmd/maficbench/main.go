@@ -28,13 +28,19 @@ import (
 	"mafic/internal/sim"
 )
 
-// BenchResult is one benchmark's measurement in the emitted JSON.
+// BenchResult is one benchmark's measurement in the emitted JSON. Route
+// stats are reported for single-scenario benchmarks: demand-driven routing
+// materializes next-hop state per active destination, so the resident entry
+// count and bytes are a tracked property of each scenario, not a constant of
+// the domain size.
 type BenchResult struct {
-	Name        string  `json:"name"`
-	Iterations  int     `json:"iterations"`
-	NsPerOp     float64 `json:"nsPerOp"`
-	BytesPerOp  int64   `json:"bytesPerOp"`
-	AllocsPerOp int64   `json:"allocsPerOp"`
+	Name         string  `json:"name"`
+	Iterations   int     `json:"iterations"`
+	NsPerOp      float64 `json:"nsPerOp"`
+	BytesPerOp   int64   `json:"bytesPerOp"`
+	AllocsPerOp  int64   `json:"allocsPerOp"`
+	RouteEntries int     `json:"routeEntries,omitempty"`
+	RouteBytes   int64   `json:"routeBytes,omitempty"`
 }
 
 // BenchReport is the full emitted document.
@@ -65,30 +71,29 @@ func benchOpts() experiment.SweepOptions {
 	return experiment.SweepOptions{Quick: true, Seed: 1, Base: &base}
 }
 
-// benchmarks enumerates every tracked benchmark by short name.
-var benchmarks = []struct {
-	name string
-	fn   func(b *testing.B)
-}{
-	{name: "table2", fn: func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			res, err := experiment.Run(benchScenario())
-			if err != nil {
-				b.Fatal(err)
-			}
-			if !res.Activated {
-				b.Fatal("defense never activated")
-			}
+// benchEntry is one tracked benchmark. Scenario benchmarks carry a lastRun
+// slot the loop fills, so the emitted record can report the run's resident
+// route state without re-running the scenario.
+type benchEntry struct {
+	name    string
+	fn      func(b *testing.B)
+	lastRun *experiment.Result
+}
+
+// scenarioBench builds a benchmark that runs one scenario per iteration and
+// records the final iteration's Result for route-stat reporting. One untimed
+// warm-up run precedes the measured loop so B/op and allocs/op report the
+// pooled steady state instead of a cold-start cost amortized over an
+// iteration count that varies run to run.
+func scenarioBench(build func(b *testing.B) experiment.Scenario) (func(b *testing.B), *experiment.Result) {
+	last := new(experiment.Result)
+	return func(b *testing.B) {
+		s := build(b)
+		if _, err := experiment.Run(s); err != nil {
+			b.Fatal(err)
 		}
-	}},
-	{name: "stress-1k", fn: func(b *testing.B) {
-		e, ok := experiment.LookupScenario("stress-1k")
-		if !ok {
-			b.Fatal("stress-1k scenario not registered")
-		}
-		s := experiment.Quick(e.Build())
 		b.ReportAllocs()
+		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			res, err := experiment.Run(s)
 			if err != nil {
@@ -97,27 +102,66 @@ var benchmarks = []struct {
 			if !res.Activated {
 				b.Fatal("defense never activated")
 			}
+			*last = res
 		}
-	}},
-	{name: "fig3a", fn: figureBench(experiment.FigureF3a)},
-	{name: "fig3b", fn: figureBench(experiment.FigureF3b)},
-	{name: "fig4a", fn: figureBench(experiment.FigureF4a)},
-	{name: "fig4b", fn: figureBench(experiment.FigureF4b)},
-	{name: "fig5a", fn: figureBench(experiment.FigureF5a)},
-	{name: "fig5b", fn: figureBench(experiment.FigureF5b)},
-	{name: "fig5c", fn: figureBench(experiment.FigureF5c)},
-	{name: "fig6a", fn: figureBench(experiment.FigureF6a)},
-	{name: "fig6b", fn: figureBench(experiment.FigureF6b)},
-	{name: "fig6c", fn: figureBench(experiment.FigureF6c)},
-	{name: "fig7", fn: figureBench(experiment.FigureF7)},
-	{name: "ablation-baseline", fn: figureBench(experiment.FigureAblationBase)},
-	{name: "ablation-probe", fn: figureBench(experiment.FigureAblationProbe)},
-	{name: "ablation-pulsing", fn: figureBench(experiment.FigureAblationPulsing)},
+	}, last
 }
 
+// registryQuick resolves a registered scenario's quick variant.
+func registryQuick(name string) func(b *testing.B) experiment.Scenario {
+	return func(b *testing.B) experiment.Scenario {
+		e, ok := experiment.LookupScenario(name)
+		if !ok {
+			b.Fatalf("%s scenario not registered", name)
+		}
+		return experiment.Quick(e.Build())
+	}
+}
+
+// benchmarks enumerates every tracked benchmark by short name.
+var benchmarks = func() []benchEntry {
+	entries := []benchEntry{
+		newScenarioEntry("table2", func(*testing.B) experiment.Scenario { return benchScenario() }),
+		newScenarioEntry("stress-1k", registryQuick("stress-1k")),
+		newScenarioEntry("stress-5k", registryQuick("stress-5k")),
+	}
+	for _, fig := range []struct {
+		name string
+		id   experiment.FigureID
+	}{
+		{"fig3a", experiment.FigureF3a},
+		{"fig3b", experiment.FigureF3b},
+		{"fig4a", experiment.FigureF4a},
+		{"fig4b", experiment.FigureF4b},
+		{"fig5a", experiment.FigureF5a},
+		{"fig5b", experiment.FigureF5b},
+		{"fig5c", experiment.FigureF5c},
+		{"fig6a", experiment.FigureF6a},
+		{"fig6b", experiment.FigureF6b},
+		{"fig6c", experiment.FigureF6c},
+		{"fig7", experiment.FigureF7},
+		{"ablation-baseline", experiment.FigureAblationBase},
+		{"ablation-probe", experiment.FigureAblationProbe},
+		{"ablation-pulsing", experiment.FigureAblationPulsing},
+	} {
+		entries = append(entries, benchEntry{name: fig.name, fn: figureBench(fig.id)})
+	}
+	return entries
+}()
+
+func newScenarioEntry(name string, build func(b *testing.B) experiment.Scenario) benchEntry {
+	fn, last := scenarioBench(build)
+	return benchEntry{name: name, fn: fn, lastRun: last}
+}
 func figureBench(id experiment.FigureID) func(b *testing.B) {
 	return func(b *testing.B) {
+		// Untimed warm-up, as in scenarioBench: measure pooled steady
+		// state, not amortized cold-start.
+		if _, err := experiment.Generate(id, benchOpts()); err != nil {
+			b.Fatalf("figure %s: %v", id, err)
+		}
 		b.ReportAllocs()
+		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			fig, err := experiment.Generate(id, benchOpts())
 			if err != nil {
@@ -131,9 +175,9 @@ func figureBench(id experiment.FigureID) func(b *testing.B) {
 }
 
 // compareAgainst checks the freshly measured report against a tracked
-// baseline and returns the number of regressions: benchmarks whose ns/op or
-// allocs/op exceed the baseline by more than tolerance (a fraction, e.g.
-// 0.10 for 10%). Benchmarks missing from the baseline (newly added) are
+// baseline and returns the number of regressions: benchmarks whose ns/op,
+// allocs/op or B/op exceed the baseline by more than tolerance (a fraction,
+// e.g. 0.10 for 10%). Benchmarks missing from the baseline (newly added) are
 // reported but never count as regressions; benchmarks present only in the
 // baseline are flagged so silent coverage loss is visible.
 func compareAgainst(baselinePath string, report BenchReport, tolerance float64) (int, error) {
@@ -150,32 +194,41 @@ func compareAgainst(baselinePath string, report BenchReport, tolerance float64) 
 		base[r.Name] = r
 	}
 
+	// ratioDelta is the fractional growth of got over base, treating a
+	// zero baseline as regressed only when the measurement became nonzero.
+	ratioDelta := func(got, base int64) float64 {
+		if base > 0 {
+			return float64(got)/float64(base) - 1
+		}
+		if got > 0 {
+			return 1
+		}
+		return 0
+	}
+
 	regressions := 0
 	seen := make(map[string]bool, len(report.Results))
-	fmt.Fprintf(os.Stderr, "%-20s %14s %14s %9s %12s %12s %9s\n",
-		"benchmark", "base ns/op", "ns/op", "Δ", "base allocs", "allocs", "Δ")
+	fmt.Fprintf(os.Stderr, "%-20s %14s %14s %9s %12s %12s %9s %12s %12s %9s\n",
+		"benchmark", "base ns/op", "ns/op", "Δ", "base allocs", "allocs", "Δ", "base B/op", "B/op", "Δ")
 	for _, r := range report.Results {
 		seen[r.Name] = true
 		b, ok := base[r.Name]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "%-20s %14s %14.0f %9s %12s %12d %9s  (new, no baseline)\n",
-				r.Name, "-", r.NsPerOp, "-", "-", r.AllocsPerOp, "-")
+			fmt.Fprintf(os.Stderr, "%-20s %14s %14.0f %9s %12s %12d %9s %12s %12d %9s  (new, no baseline)\n",
+				r.Name, "-", r.NsPerOp, "-", "-", r.AllocsPerOp, "-", "-", r.BytesPerOp, "-")
 			continue
 		}
 		nsDelta := r.NsPerOp/b.NsPerOp - 1
-		allocDelta := 0.0
-		if b.AllocsPerOp > 0 {
-			allocDelta = float64(r.AllocsPerOp)/float64(b.AllocsPerOp) - 1
-		} else if r.AllocsPerOp > 0 {
-			allocDelta = 1
-		}
+		allocDelta := ratioDelta(r.AllocsPerOp, b.AllocsPerOp)
+		bytesDelta := ratioDelta(r.BytesPerOp, b.BytesPerOp)
 		verdict := ""
-		if nsDelta > tolerance || allocDelta > tolerance {
+		if nsDelta > tolerance || allocDelta > tolerance || bytesDelta > tolerance {
 			verdict = "  REGRESSION"
 			regressions++
 		}
-		fmt.Fprintf(os.Stderr, "%-20s %14.0f %14.0f %+8.1f%% %12d %12d %+8.1f%%%s\n",
-			r.Name, b.NsPerOp, r.NsPerOp, nsDelta*100, b.AllocsPerOp, r.AllocsPerOp, allocDelta*100, verdict)
+		fmt.Fprintf(os.Stderr, "%-20s %14.0f %14.0f %+8.1f%% %12d %12d %+8.1f%% %12d %12d %+8.1f%%%s\n",
+			r.Name, b.NsPerOp, r.NsPerOp, nsDelta*100, b.AllocsPerOp, r.AllocsPerOp, allocDelta*100,
+			b.BytesPerOp, r.BytesPerOp, bytesDelta*100, verdict)
 	}
 	for _, b := range baseline.Results {
 		if !seen[b.Name] {
@@ -193,7 +246,7 @@ func run() int {
 	out := flag.String("out", "", "write the JSON report to this file instead of stdout")
 	only := flag.String("benchmarks", "", "comma-separated benchmark names to run (default: all)")
 	diff := flag.String("diff", "", "compare against this baseline JSON and exit non-zero on regression")
-	tolerance := flag.Float64("tolerance", 0.10, "with -diff: allowed fractional growth in ns/op or allocs/op")
+	tolerance := flag.Float64("tolerance", 0.10, "with -diff: allowed fractional growth in ns/op, allocs/op or B/op")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark runs to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile of the benchmark runs to this file")
 	flag.Parse()
@@ -238,7 +291,7 @@ func run() int {
 	for _, name := range strings.Split(*only, ",") {
 		if name = strings.TrimSpace(name); name != "" {
 			if !known[name] {
-				fmt.Fprintf(os.Stderr, "maficbench: unknown benchmark %q (known: table2, stress-1k, fig3a..fig7, ablation-*)\n", name)
+				fmt.Fprintf(os.Stderr, "maficbench: unknown benchmark %q (known: table2, stress-1k, stress-5k, fig3a..fig7, ablation-*)\n", name)
 				return 2
 			}
 			selected[name] = true
@@ -257,13 +310,20 @@ func run() int {
 		}
 		fmt.Fprintf(os.Stderr, "running %s...\n", bm.name)
 		r := testing.Benchmark(bm.fn)
-		report.Results = append(report.Results, BenchResult{
+		res := BenchResult{
 			Name:        bm.name,
 			Iterations:  r.N,
 			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 			BytesPerOp:  r.AllocedBytesPerOp(),
 			AllocsPerOp: r.AllocsPerOp(),
-		})
+		}
+		if bm.lastRun != nil && bm.lastRun.Routers > 0 {
+			res.RouteEntries = bm.lastRun.RouteEntries
+			res.RouteBytes = bm.lastRun.RouteBytes
+			fmt.Fprintf(os.Stderr, "  route state: %d entries, %d bytes resident\n",
+				res.RouteEntries, res.RouteBytes)
+		}
+		report.Results = append(report.Results, res)
 	}
 
 	enc, err := json.MarshalIndent(report, "", "  ")

@@ -159,5 +159,7 @@ func run(args []string, out *os.File) error {
 		res.DefenseStats.FlowsProbed, res.DefenseStats.FlowsNice, res.DefenseStats.FlowsCondemned,
 		res.DefenseStats.FlowsIllegal, res.LegitFlowsCondemned, res.AttackFlowsForgiven)
 	fmt.Fprintf(out, "  events processed: %d  (wall time %v)\n", res.EventsProcessed, elapsed.Round(time.Millisecond))
+	fmt.Fprintf(out, "  route state: %d next-hop entries resident (%d bytes, demand-driven)\n",
+		res.RouteEntries, res.RouteBytes)
 	return nil
 }

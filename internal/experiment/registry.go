@@ -211,6 +211,22 @@ func init() {
 			s.Topology.MultiHomedVictim = true
 		}))
 
+	MustRegister(builtin("stress-5k",
+		"scale proof: 5000-router ring with 1500 chords, 40 ingress routers, three simultaneous victims — demand-driven two-level routing materializes only the few dozen active destination columns instead of the ~33M-entry all-pairs install",
+		func(s *Scenario) {
+			s.Topology.NumRouters = 5000
+			s.Topology.NumIngress = 40
+			// Chord density matches stress-1k (0.3 chords per router):
+			// shortest paths stay tens of hops, so per-packet event
+			// counts grow slowly while the domain is 125x the paper's.
+			s.Topology.ExtraChords = 1500
+			s.Topology.BystanderHosts = 32
+			s.Topology.ExtraVictims = 2
+			s.Workload.TotalFlows = 80
+			s.Workload.TCPShare = 0.80
+			s.Workload.ExtraVictimShare = 0.3
+		}))
+
 	MustRegister(builtin("stress-1k",
 		"scale proof: 1000-router ring with 300 chords, 40 ingress routers, three simultaneous victims — exercises the topology arena and zero-alloc epoch pipeline at 25x the paper's domain size",
 		func(s *Scenario) {

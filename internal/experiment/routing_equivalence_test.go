@@ -1,0 +1,65 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+
+	"mafic/internal/topology"
+)
+
+// stripRouteStats zeroes the fields that legitimately differ between routing
+// modes: eager routing resides O(routers × nodes) entries, demand-driven
+// routing a few columns. Everything else — every metric, counter, series bin
+// and event count — must be bit-identical.
+func stripRouteStats(r Result) Result {
+	r.RouteEntries = 0
+	r.RouteBytes = 0
+	return r
+}
+
+// TestRoutingModeEquivalence runs every registered scenario (quick mode,
+// stress scenarios included) under demand-driven lazy routing and under the
+// historical eager all-pairs install, and requires bit-identical results.
+// This is the system-level guarantee behind the two-level routing subsystem:
+// both modes make identical forwarding decisions (same BFS, same ascending
+// tie-break), so no golden fixture moved when lazy became the default.
+func TestRoutingModeEquivalence(t *testing.T) {
+	for _, e := range Entries() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			t.Parallel()
+			lazy := Quick(e.Build())
+			eager := Quick(e.Build())
+			eager.Topology.Routing = topology.RoutingEager
+
+			gotLazy, err := Run(lazy)
+			if err != nil {
+				t.Fatalf("lazy run: %v", err)
+			}
+			gotEager, err := Run(eager)
+			if err != nil {
+				t.Fatalf("eager run: %v", err)
+			}
+
+			if gotLazy.RouteEntries >= gotEager.RouteEntries {
+				t.Errorf("lazy routing resides %d entries, eager %d — demand-driven saved nothing",
+					gotLazy.RouteEntries, gotEager.RouteEntries)
+			}
+			if !reflect.DeepEqual(stripRouteStats(gotLazy), stripRouteStats(gotEager)) {
+				t.Errorf("lazy and eager runs diverge")
+				if gotLazy.Counts != gotEager.Counts {
+					t.Errorf("counts: lazy %+v, eager %+v", gotLazy.Counts, gotEager.Counts)
+				}
+				if gotLazy.EventsProcessed != gotEager.EventsProcessed {
+					t.Errorf("events: lazy %d, eager %d", gotLazy.EventsProcessed, gotEager.EventsProcessed)
+				}
+				if gotLazy.Accuracy != gotEager.Accuracy {
+					t.Errorf("accuracy: lazy %v, eager %v", gotLazy.Accuracy, gotEager.Accuracy)
+				}
+				if gotLazy.ATRCount != gotEager.ATRCount {
+					t.Errorf("ATRs: lazy %d, eager %d", gotLazy.ATRCount, gotEager.ATRCount)
+				}
+			}
+		})
+	}
+}

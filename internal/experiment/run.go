@@ -54,6 +54,39 @@ func putScheduler(sched *sim.Scheduler) {
 	schedPools[sched.Backend()].Put(sched)
 }
 
+// runScratch holds the run-scoped lookup tables runWith rebuilds for every
+// scenario: the per-defender dispatch maps and the ground-truth label sets.
+// Pooling them removes the last ROADMAP-named construction-time allocations
+// (the per-defender map headers) from the sweep hot path — cleared maps keep
+// their buckets, so a steady-state run allocates no headers at all.
+type runScratch struct {
+	defByRouter   map[netsim.NodeID]defense
+	maficByRouter map[netsim.NodeID]*core.Defender
+	ingressIDs    []netsim.NodeID
+	legitLabels   map[uint64]bool
+	attackLabels  map[uint64]bool
+}
+
+var scratchPool = pool.FreeList[runScratch]{Cap: resourcePoolCap}
+
+func getScratch() *runScratch {
+	s := scratchPool.Get()
+	if s == nil {
+		return &runScratch{
+			defByRouter:   make(map[netsim.NodeID]defense),
+			maficByRouter: make(map[netsim.NodeID]*core.Defender),
+			legitLabels:   make(map[uint64]bool),
+			attackLabels:  make(map[uint64]bool),
+		}
+	}
+	clear(s.defByRouter)
+	clear(s.maficByRouter)
+	clear(s.legitLabels)
+	clear(s.attackLabels)
+	s.ingressIDs = s.ingressIDs[:0]
+	return s
+}
+
 // Run executes one scenario and returns its metrics.
 func Run(s Scenario) (Result, error) {
 	arena := arenaPool.Get()
@@ -110,9 +143,11 @@ func runWith(s Scenario, arena *topology.Arena) (Result, error) {
 		Defense:    s.Defense.String(),
 	}
 
-	// Per-ingress defences.
-	defByRouter := make(map[netsim.NodeID]defense, len(domain.Ingress))
-	maficByRouter := make(map[netsim.NodeID]*core.Defender, len(domain.Ingress))
+	// Per-ingress defences, dispatched through pooled run-scoped tables.
+	scratch := getScratch()
+	defer scratchPool.Put(scratch)
+	defByRouter := scratch.defByRouter
+	maficByRouter := scratch.maficByRouter
 	switch s.Defense {
 	case DefenseMAFIC:
 		for _, ing := range domain.Ingress {
@@ -159,10 +194,11 @@ func runWith(s Scenario, arena *topology.Arena) (Result, error) {
 		result.ATRCount = len(routers)
 	}
 
-	ingressIDs := make([]netsim.NodeID, 0, len(domain.Ingress))
+	ingressIDs := scratch.ingressIDs
 	for _, ing := range domain.Ingress {
 		ingressIDs = append(ingressIDs, ing.ID())
 	}
+	scratch.ingressIDs = ingressIDs
 
 	pbCfg := s.Pushback
 	pbCfg.Eligible = ingressIDs
@@ -182,6 +218,7 @@ func runWith(s Scenario, arena *topology.Arena) (Result, error) {
 
 	monitor, err := trafficmatrix.NewMonitor(domain.Net, s.Monitor, coordinator.HandleReport)
 	if err != nil {
+		coordinator.Release()
 		return Result{}, fmt.Errorf("traffic monitor: %w", err)
 	}
 
@@ -217,6 +254,12 @@ func runWith(s Scenario, arena *topology.Arena) (Result, error) {
 	}
 
 	if err := sched.RunUntil(s.Duration); err != nil {
+		// The deferred putScheduler resets the scheduler, so no event can
+		// fire after this point and the pooled objects are safe to recycle
+		// even though the run aborted.
+		monitor.Release()
+		coordinator.Release()
+		workload.Release()
 		return Result{}, fmt.Errorf("run: %w", err)
 	}
 	monitor.Stop()
@@ -234,8 +277,8 @@ func runWith(s Scenario, arena *topology.Arena) (Result, error) {
 
 	// Flow-level outcomes from the defenders' tables.
 	if s.Defense == DefenseMAFIC {
-		legitLabels := make(map[uint64]bool, len(workload.Legitimate))
-		attackLabels := make(map[uint64]bool, len(workload.Attack))
+		legitLabels := scratch.legitLabels
+		attackLabels := scratch.attackLabels
 		for _, f := range workload.Legitimate {
 			legitLabels[f.Label().Hash()] = true
 		}
@@ -268,8 +311,14 @@ func runWith(s Scenario, arena *topology.Arena) (Result, error) {
 		}
 		result.FlowsProbed = int(result.DefenseStats.FlowsProbed)
 	}
-	// All metrics are extracted; pooled flow objects can go back to their
-	// pools for the next run (or the next sweep worker) to reuse.
+	// Routing is demand-driven: the resident route state at the end of the
+	// run is exactly the set of destinations the scenario's traffic used.
+	result.RouteEntries, result.RouteBytes = domain.Net.RouteStats()
+
+	// All metrics are extracted; pooled engine objects can go back to
+	// their pools for the next run (or the next sweep worker) to reuse.
+	monitor.Release()
+	coordinator.Release()
 	workload.Release()
 	return result, nil
 }

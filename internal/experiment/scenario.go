@@ -220,4 +220,11 @@ type Result struct {
 
 	// EventsProcessed counts discrete events executed by the run.
 	EventsProcessed uint64 `json:"eventsProcessed"`
+
+	// RouteEntries and RouteBytes report the resident routing state at the
+	// end of the run: demand-driven routing materializes next-hop columns
+	// only for destinations the workload actually used, so these measure
+	// how much of the domain's reachability the scenario paid for.
+	RouteEntries int   `json:"routeEntries"`
+	RouteBytes   int64 `json:"routeBytes"`
 }

@@ -103,6 +103,18 @@ type Network struct {
 	// flag whether they registered anything so pure sinks skip the lookup.
 	handlers map[handlerKey]PacketHandler
 
+	// Demand-driven routing state (see routing.go): the installed column
+	// resolver, the dense per-destination column table (host slots alias
+	// their attachment router's column), and the materialization counters
+	// behind RouteColumns/RouteStats.
+	resolver         RouteResolver
+	routeCols        [][]NodeID
+	colsMaterialized int
+	colEntries       int
+	// topoVersion counts graph mutations (nodes added, links connected) so
+	// resolvers can detect a stale snapshot; see TopoVersion.
+	topoVersion uint64
+
 	hooks Hooks
 }
 
@@ -322,6 +334,7 @@ func (n *Network) allocateNodeID() NodeID {
 	id := n.nextNodeID
 	n.nextNodeID++
 	n.nodes = append(n.nodes, nodeSlot{})
+	n.topoVersion++
 	return id
 }
 
@@ -340,19 +353,21 @@ func (n *Network) Reserve(nodes int) {
 	grownAdj := make([][]*Link, len(n.adj), nodes)
 	copy(grownAdj, n.adj)
 	n.adj = grownAdj
+	grownCols := make([][]NodeID, nodes)
+	copy(grownCols, n.routeCols)
+	n.routeCols = grownCols
 	n.sizeHint = nodes
 }
 
-// AddRouter creates a router with the given human-readable name.
+// AddRouter creates a router with the given human-readable name. Its static
+// route table starts empty — demand-driven forwarding needs none, and the
+// eager install path carves a dense slab row on the first SetRoute.
 func (n *Network) AddRouter(name string) *Router {
 	r := n.routerSlot()
 	*r = Router{
 		net:  n,
 		id:   n.allocateNodeID(),
 		name: name,
-	}
-	if n.sizeHint > 0 {
-		r.routes = n.carveRouteRow()
 	}
 	n.routers[r.id] = r
 	n.nodes[r.id].router = r
@@ -430,6 +445,11 @@ func (n *Network) Connect(from, to NodeID, cfg LinkConfig) (*Link, error) {
 	if n.LinkBetween(from, to) != nil {
 		return nil, fmt.Errorf("connect %d->%d: %w", from, to, ErrDuplicateLink)
 	}
+	// A new link can change shortest paths; memoized next-hop columns from
+	// before it existed are stale. On the build-then-run lifecycle nothing
+	// has materialized yet and this is free.
+	n.invalidateRouteColumns()
+	n.topoVersion++
 	l := n.linkSlot()
 	*l = Link{net: n, from: from, to: to, cfg: cfg}
 	for int(from) >= len(n.adj) {

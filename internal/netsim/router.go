@@ -84,16 +84,22 @@ func (r *Router) SetRoute(dest, nextHop NodeID) {
 
 // growRoutes extends the dense table to at least n entries, using the
 // network's node count as a floor so a route sweep over the whole domain
-// grows the table once instead of doubling repeatedly.
+// grows the table once instead of doubling repeatedly. Reserved networks
+// carve the row from the shared dense-row slab.
 func (r *Router) growRoutes(n int) {
 	if hint := len(r.net.nodes); hint > n {
 		n = hint
 	}
-	grown := make([]NodeID, n)
-	copy(grown, r.routes)
-	for i := len(r.routes); i < n; i++ {
-		grown[i] = NoNode
+	var grown []NodeID
+	if n <= r.net.sizeHint {
+		grown = r.net.carveRouteRow() // sizeHint wide, pre-filled with NoNode
+	} else {
+		grown = make([]NodeID, n)
+		for i := len(r.routes); i < n; i++ {
+			grown[i] = NoNode
+		}
 	}
+	copy(grown, r.routes)
 	r.routes = grown
 }
 
@@ -177,7 +183,14 @@ func (r *Router) route(pkt *Packet) {
 	}
 	link := r.net.LinkBetween(r.id, destNode)
 	if link == nil {
+		// A static entry (SetRoute / eager install) wins; otherwise fall
+		// through to the network's demand-driven column table. Under lazy
+		// routing the static table is empty, so the first lookup is a
+		// single failed bounds check.
 		next := r.Route(destNode)
+		if next == NoNode {
+			next = r.net.NextHop(r.id, destNode)
+		}
 		if next == NoNode {
 			r.net.dropUnroutable(pkt, r.id)
 			return

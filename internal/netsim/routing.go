@@ -1,0 +1,166 @@
+package netsim
+
+import "unsafe"
+
+// Demand-driven two-level routing.
+//
+// Historically every router carried a dense next-hop row covering every node
+// in the domain, installed eagerly at build time: O(routers × nodes) entries,
+// of which a DDoS-style workload ever touches a vanishing fraction (traffic
+// converges on a handful of victims, ACKs and probes fan back to the edge).
+// The network now keeps forwarding state as per-destination next-hop
+// *columns*, materialized lazily the first time a destination is routed to:
+//
+//   - Level 1 (aggregation): a single-homed host shares the column of its
+//     attachment router — the column is computed once for the router and the
+//     host's slot simply aliases it. Delivery at the attachment router uses
+//     the direct host link, so no per-host state is ever needed. Multi-homed
+//     hosts (and routers themselves) get a dedicated column, which keeps
+//     their paths bit-identical to a per-node shortest-path computation.
+//   - Level 2 (demand): a column is produced by the installed RouteResolver
+//     (one reverse BFS in the topology arena) only when its destination first
+//     appears in live traffic, then memoized for the lifetime of the network.
+//
+// Routers still honour next hops installed explicitly via Router.SetRoute
+// (hand-built networks, the eager install path); the column lookup is the
+// fallback when no static entry exists.
+type RouteResolver interface {
+	// NextHopColumn returns the next-hop column for dest: a dense
+	// NodeID-indexed table where column[at] is the next hop from node at
+	// toward dest, or NoNode where dest is unreachable. The network
+	// memoizes the returned slice until its routes are invalidated, so the
+	// resolver must hand over ownership (no later mutation).
+	NextHopColumn(dest NodeID) []NodeID
+}
+
+// SetRouteResolver installs the demand-driven column resolver and drops any
+// previously materialized columns. Topology builders call it once the domain
+// graph is final.
+func (n *Network) SetRouteResolver(r RouteResolver) {
+	n.resolver = r
+	n.invalidateRouteColumns()
+}
+
+// invalidateRouteColumns forgets every memoized column. Adding a link after
+// columns have materialized invalidates them (shortest paths may change), so
+// Connect calls this; on the usual build-then-run lifecycle it never fires
+// with materialized state.
+func (n *Network) invalidateRouteColumns() {
+	if n.colsMaterialized == 0 {
+		return
+	}
+	for i := range n.routeCols {
+		n.routeCols[i] = nil
+	}
+	n.colsMaterialized = 0
+	n.colEntries = 0
+}
+
+// NextHop returns the next hop from node at toward dest according to the
+// demand-driven column table, materializing the column on first use. NoNode
+// means no route (no resolver installed, unknown destination, or dest
+// unreachable from at).
+func (n *Network) NextHop(at, dest NodeID) NodeID {
+	if at < 0 || dest < 0 {
+		return NoNode
+	}
+	if int(dest) < len(n.routeCols) {
+		if col := n.routeCols[dest]; col != nil {
+			if int(at) < len(col) {
+				return col[at]
+			}
+			return NoNode
+		}
+	}
+	col := n.materializeColumn(dest)
+	if col == nil || int(at) >= len(col) {
+		return NoNode
+	}
+	return col[at]
+}
+
+// materializeColumn resolves and memoizes the column serving dest: the
+// aggregate's column is computed (or found already materialized) and dest's
+// slot set to alias it, so later lookups are a single indexed load.
+func (n *Network) materializeColumn(dest NodeID) []NodeID {
+	if n.resolver == nil || !n.nodeExists(dest) {
+		return nil
+	}
+	agg := n.aggregateOf(dest)
+	n.growRouteCols(agg)
+	col := n.routeCols[agg]
+	if col == nil {
+		col = n.resolver.NextHopColumn(agg)
+		if col == nil {
+			return nil
+		}
+		n.routeCols[agg] = col
+		n.colsMaterialized++
+		n.colEntries += len(col)
+	}
+	n.growRouteCols(dest)
+	n.routeCols[dest] = col
+	return col
+}
+
+// growRouteCols extends the column table to cover id. Reserved networks size
+// it once up front (see Reserve).
+func (n *Network) growRouteCols(id NodeID) {
+	want := int(id) + 1
+	if nc := len(n.nodes); nc > want {
+		want = nc
+	}
+	for len(n.routeCols) < want {
+		n.routeCols = append(n.routeCols, nil)
+	}
+}
+
+// aggregateOf maps a destination to the node whose column serves it: routers
+// route by their own column, a single-homed host aggregates to its attachment
+// router, and a multi-homed host keeps a dedicated column so shortest-path
+// tie-breaking among its homes matches a per-node computation exactly.
+func (n *Network) aggregateOf(dest NodeID) NodeID {
+	if n.nodes[dest].router != nil {
+		return dest
+	}
+	agg := NoNode
+	if int(dest) < len(n.adj) {
+		for to, l := range n.adj[dest] {
+			if l == nil {
+				continue
+			}
+			if agg != NoNode {
+				return dest // multi-homed: own column
+			}
+			agg = NodeID(to)
+		}
+	}
+	if agg == NoNode || n.nodes[agg].router == nil {
+		return dest
+	}
+	return agg
+}
+
+// RouteColumns reports how many distinct next-hop columns have been
+// materialized on demand (aliased host slots are not counted).
+func (n *Network) RouteColumns() int { return n.colsMaterialized }
+
+// TopoVersion identifies the current state of the node/link graph; it
+// changes whenever a node is added or a link connected. Resolvers that
+// snapshot the graph compare it on each column request so a mutation after
+// the snapshot (which also invalidates the memoized columns) triggers a
+// re-snapshot instead of serving stale shortest paths.
+func (n *Network) TopoVersion() uint64 { return n.topoVersion }
+
+// RouteStats reports the resident routing state: the total number of
+// next-hop entries held live (materialized demand-driven columns plus any
+// per-router static tables) and the bytes they occupy. Under eager routing
+// this is O(routers × nodes); under demand-driven routing it is
+// O(active destinations × nodes).
+func (n *Network) RouteStats() (entries int, bytes int64) {
+	entries = n.colEntries
+	for _, r := range n.routers {
+		entries += len(r.routes)
+	}
+	return entries, int64(entries) * int64(unsafe.Sizeof(NoNode))
+}

@@ -1,0 +1,129 @@
+package netsim
+
+import (
+	"testing"
+
+	"mafic/internal/sim"
+)
+
+// countingResolver returns a fixed next hop for every node and counts how
+// many columns it was asked to produce.
+type countingResolver struct {
+	net   *Network
+	calls int
+}
+
+func (cr *countingResolver) NextHopColumn(dest NodeID) []NodeID {
+	cr.calls++
+	col := make([]NodeID, len(cr.net.nodes))
+	for i := range col {
+		col[i] = dest // every node hops straight toward dest
+	}
+	return col
+}
+
+// chainNet builds r0 - r1 - host with duplex links and no static routes.
+func chainNet(t *testing.T) (*Network, *Router, *Router, *Host) {
+	t.Helper()
+	net := New(sim.NewScheduler(), sim.NewRNG(1))
+	r0 := net.AddRouter("r0")
+	r1 := net.AddRouter("r1")
+	h := net.AddHost("h", IP(0x0a000001))
+	h.AttachTo(r1.ID())
+	cfg := LinkConfig{BandwidthBps: 1e9, Delay: sim.Millisecond, QueueLen: 8}
+	if err := net.ConnectDuplex(r0.ID(), r1.ID(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.ConnectDuplex(r1.ID(), h.ID(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	return net, r0, r1, h
+}
+
+// TestNextHopMaterializesOnceAndAliasesHosts pins the demand-driven core: a
+// host lookup and its attachment-router lookup share one resolver call, and
+// repeated lookups hit the memo.
+func TestNextHopMaterializesOnceAndAliasesHosts(t *testing.T) {
+	net, r0, r1, h := chainNet(t)
+	cr := &countingResolver{net: net}
+	net.SetRouteResolver(cr)
+
+	if got := net.NextHop(r0.ID(), h.ID()); got != r1.ID() {
+		t.Fatalf("NextHop(r0, h) = %d, want %d", got, r1.ID())
+	}
+	if got := net.NextHop(r0.ID(), r1.ID()); got != r1.ID() {
+		t.Fatalf("NextHop(r0, r1) = %d, want %d", got, r1.ID())
+	}
+	for i := 0; i < 10; i++ {
+		net.NextHop(r0.ID(), h.ID())
+	}
+	if cr.calls != 1 {
+		t.Fatalf("resolver ran %d times, want 1 (host aliases its router's column)", cr.calls)
+	}
+	if net.RouteColumns() != 1 {
+		t.Fatalf("RouteColumns = %d, want 1", net.RouteColumns())
+	}
+	entries, bytes := net.RouteStats()
+	if entries != net.NodeCount() || bytes != int64(entries)*8 {
+		t.Fatalf("RouteStats = (%d, %d)", entries, bytes)
+	}
+}
+
+// TestNextHopWithoutResolver verifies the no-resolver fallback: no columns,
+// no routes, NoNode.
+func TestNextHopWithoutResolver(t *testing.T) {
+	net, r0, _, h := chainNet(t)
+	if got := net.NextHop(r0.ID(), h.ID()); got != NoNode {
+		t.Fatalf("NextHop without resolver = %d, want NoNode", got)
+	}
+	if got := net.NextHop(NodeID(-1), h.ID()); got != NoNode {
+		t.Fatalf("NextHop from invalid node = %d, want NoNode", got)
+	}
+	if got := net.NextHop(r0.ID(), NodeID(999)); got != NoNode {
+		t.Fatalf("NextHop to unknown node = %d, want NoNode", got)
+	}
+}
+
+// TestConnectInvalidatesColumns pins the safety rule for dynamic graphs:
+// adding a link after columns materialized drops the memo so stale shortest
+// paths cannot be served.
+func TestConnectInvalidatesColumns(t *testing.T) {
+	net, r0, _, h := chainNet(t)
+	cr := &countingResolver{net: net}
+	net.SetRouteResolver(cr)
+
+	net.NextHop(r0.ID(), h.ID())
+	if net.RouteColumns() != 1 {
+		t.Fatalf("RouteColumns = %d, want 1", net.RouteColumns())
+	}
+	r2 := net.AddRouter("r2")
+	cfg := LinkConfig{BandwidthBps: 1e9, Delay: sim.Millisecond, QueueLen: 8}
+	if err := net.ConnectDuplex(r0.ID(), r2.ID(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	if net.RouteColumns() != 0 {
+		t.Fatalf("Connect left %d stale columns", net.RouteColumns())
+	}
+	net.NextHop(r0.ID(), h.ID())
+	if cr.calls != 2 {
+		t.Fatalf("resolver ran %d times, want 2 (re-materialized after invalidation)", cr.calls)
+	}
+}
+
+// TestAggregateOfMultiHomedHost verifies a host with two attachment links
+// routes by its own column rather than either router's.
+func TestAggregateOfMultiHomedHost(t *testing.T) {
+	net, r0, r1, h := chainNet(t)
+	cfg := LinkConfig{BandwidthBps: 1e9, Delay: sim.Millisecond, QueueLen: 8}
+	if err := net.ConnectDuplex(h.ID(), r0.ID(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	cr := &countingResolver{net: net}
+	net.SetRouteResolver(cr)
+
+	net.NextHop(r0.ID(), r1.ID())
+	net.NextHop(r0.ID(), h.ID())
+	if cr.calls != 2 {
+		t.Fatalf("resolver ran %d times, want 2 (multi-homed host needs its own column)", cr.calls)
+	}
+}

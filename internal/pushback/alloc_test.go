@@ -44,3 +44,69 @@ func TestHandleReportSteadyStateZeroAlloc(t *testing.T) {
 		t.Fatal("thresholds were set impossible; nothing should trigger")
 	}
 }
+
+// TestCoordinatorReuseZeroAlloc pins the construction-time win of the
+// coordinator pool: once one released coordinator exists, a NewCoordinator/
+// Release cycle with the same eligibility set allocates nothing — the
+// history tables, ranking scratch and eligibility map are all recycled.
+func TestCoordinatorReuseZeroAlloc(t *testing.T) {
+	eligible := []netsim.NodeID{1, 3, 5, 7}
+	cfg := Config{HistoryFactor: 1.5, Eligible: eligible}
+	report := trafficmatrix.EpochReport{
+		Epoch:     1,
+		Routers:   []netsim.NodeID{0, 1, 2, 3},
+		DestEst:   []float64{10, 20, 30, 40},
+		SourceEst: []float64{5, 5, 5, 5},
+	}
+
+	// Warm the pool (and grow the recycled tables once).
+	c := NewCoordinator(cfg, nil, nil)
+	c.HandleReport(report)
+	c.Release()
+
+	allocs := testing.AllocsPerRun(50, func() {
+		c := NewCoordinator(cfg, nil, nil)
+		c.HandleReport(report)
+		c.Release()
+	})
+	if allocs != 0 {
+		t.Fatalf("pooled NewCoordinator/Release cycle allocates %v, want 0", allocs)
+	}
+}
+
+// TestCoordinatorReuseLeaksNoState verifies a recycled coordinator starts
+// from scratch: no history, no active pushback, no stale eligibility.
+func TestCoordinatorReuseLeaksNoState(t *testing.T) {
+	fired := 0
+	c := NewCoordinator(Config{AbsoluteThreshold: 10, MinVictimLoad: 1, ATRShare: 0},
+		func(Request) { fired++ }, nil)
+	report := trafficmatrix.EpochReport{
+		Epoch:     1,
+		Routers:   []netsim.NodeID{0, 1},
+		DestEst:   []float64{5, 500},
+		SourceEst: []float64{5, 5},
+		Matrix:    []trafficmatrix.Cell{{Source: 0, Dest: 1, Packets: 400}},
+	}
+	c.HandleReport(report)
+	if fired != 1 || !c.Active() {
+		t.Fatalf("setup detection did not fire (fired=%d active=%v)", fired, c.Active())
+	}
+	c.Release()
+
+	// The recycled coordinator must neither remember the old victim nor
+	// keep the old eligibility; router 0 (ineligible before) must rank.
+	c2 := NewCoordinator(Config{AbsoluteThreshold: 10, MinVictimLoad: 1, ATRShare: 0},
+		func(req Request) {
+			if len(req.ATRs) == 0 {
+				t.Error("recycled coordinator kept a stale eligibility set")
+			}
+		}, nil)
+	if c2.Active() || c2.Requests() != 0 {
+		t.Fatalf("recycled coordinator leaked activation state (active=%v requests=%d)",
+			c2.Active(), c2.Requests())
+	}
+	c2.HandleReport(report)
+	if !c2.Active() {
+		t.Fatal("recycled coordinator failed to detect")
+	}
+}

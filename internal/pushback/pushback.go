@@ -11,6 +11,7 @@ import (
 	"slices"
 
 	"mafic/internal/netsim"
+	"mafic/internal/pool"
 	"mafic/internal/trafficmatrix"
 )
 
@@ -167,9 +168,15 @@ type Coordinator struct {
 	requestsFired int
 }
 
+// coordinatorPool recycles released coordinators across runs, keeping their
+// grown history tables, ranking scratch and eligibility map; see Release.
+var coordinatorPool = pool.FreeList[Coordinator]{Cap: 256}
+
 // NewCoordinator creates a coordinator. onPushback fires when an attack is
 // detected; onWithdraw fires when the victim's load subsides. Either callback
-// may be nil.
+// may be nil. The object comes from the package pool when a released
+// coordinator is available, so sweep-scale construction allocates nothing in
+// steady state.
 func NewCoordinator(cfg Config, onPushback func(Request), onWithdraw func(victim netsim.NodeID)) *Coordinator {
 	if cfg.WithdrawFactor <= 0 {
 		cfg.WithdrawFactor = 0.5
@@ -177,23 +184,50 @@ func NewCoordinator(cfg Config, onPushback func(Request), onWithdraw func(victim
 	if cfg.WithdrawEpochs <= 0 {
 		cfg.WithdrawEpochs = 2
 	}
-	var eligible map[netsim.NodeID]bool
+	c := coordinatorPool.Get()
+	if c == nil {
+		c = &Coordinator{}
+	}
+	eligible := c.eligible
 	if len(cfg.Eligible) > 0 {
-		eligible = make(map[netsim.NodeID]bool, len(cfg.Eligible))
+		if eligible == nil {
+			eligible = make(map[netsim.NodeID]bool, len(cfg.Eligible))
+		}
 		for _, id := range cfg.Eligible {
 			eligible[id] = true
 		}
+	} else {
+		eligible = nil
 	}
 	if cfg.MinHistoryEpochs <= 0 {
 		cfg.MinHistoryEpochs = 2
 	}
-	return &Coordinator{
+	// Full reinitialisation over the recycled backing: truncated (not
+	// dropped) tables keep their capacity, and growHistory writes every
+	// appended slot, so no state can leak between owners.
+	*c = Coordinator{
 		cfg:          cfg,
 		onPushback:   onPushback,
 		onWithdraw:   onWithdraw,
 		eligible:     eligible,
+		history:      c.history[:0],
+		historyOK:    c.historyOK[:0],
+		cellScratch:  c.cellScratch[:0],
 		historyAlpha: 0.5,
 	}
+	return c
+}
+
+// Release returns the coordinator to the package pool for reuse by a later
+// run. Call it only once no further epoch report can arrive, and do not use
+// the coordinator again: its callbacks are dropped and its tables are handed
+// to the next owner.
+func (c *Coordinator) Release() {
+	c.onPushback = nil
+	c.onWithdraw = nil
+	c.cfg = Config{}
+	clear(c.eligible) // keep the map header and buckets for the next owner
+	coordinatorPool.Put(c)
 }
 
 // Active reports whether a pushback request is currently in force.

@@ -29,6 +29,7 @@ type Arena struct {
 	ingressOf    []*netsim.Router
 
 	route routeScratch
+	lazy  lazyRouter
 	names nameCache
 }
 
@@ -167,4 +168,84 @@ func (rs *routeScratch) install(net *netsim.Network) error {
 		}
 	}
 	return nil
+}
+
+// lazyRouter is the arena's netsim.RouteResolver: the demand-driven half of
+// the two-level routing design. bind snapshots the finished domain into the
+// arena's CSR scratch; NextHopColumn then materializes one column per
+// requested destination by a single reverse BFS, copied into a column carved
+// from the arena's recycled column pool. Columns handed to a network remain
+// valid for that network's lifetime; the next bind (the next sweep point)
+// reclaims their storage, exactly the ownership rule every other arena-backed
+// slice follows.
+type lazyRouter struct {
+	rs *routeScratch
+	// net and seenVersion track which graph state the CSR snapshot
+	// reflects; a mutation after Build (TopoVersion moved) forces a
+	// re-snapshot before the next column is computed.
+	net         *netsim.Network
+	seenVersion uint64
+	// width is the snapshot's node count: every column this build hands
+	// out has exactly this length.
+	width int
+	// handed are the columns given to the current network; colFree are
+	// columns reclaimed from earlier builds, reused when wide enough.
+	handed  [][]netsim.NodeID
+	colFree [][]netsim.NodeID
+	// carved counts column allocations ever made through this arena; the
+	// reuse tests pin that rebuilds do not grow it.
+	carved int
+}
+
+var _ netsim.RouteResolver = (*lazyRouter)(nil)
+
+// bind points the resolver at a freshly built network: reclaim the previous
+// build's columns, snapshot the CSR adjacency, and record the column width.
+func (lz *lazyRouter) bind(rs *routeScratch, net *netsim.Network) {
+	lz.rs = rs
+	lz.net = net
+	lz.colFree = append(lz.colFree, lz.handed...)
+	for i := range lz.handed {
+		lz.handed[i] = nil
+	}
+	lz.handed = lz.handed[:0]
+	lz.width = rs.snapshot(net)
+	lz.seenVersion = net.TopoVersion()
+}
+
+// NextHopColumn implements netsim.RouteResolver: one reverse BFS rooted at
+// dest fills the scratch parent table, which is the column (parent of node X
+// on the shortest path tree rooted at dest == X's next hop toward dest, with
+// the historical BFS tie-breaking).
+func (lz *lazyRouter) NextHopColumn(dest netsim.NodeID) []netsim.NodeID {
+	// A graph mutation after Build invalidated the network's memo; it also
+	// staled this snapshot, so refresh before computing. Untouched on the
+	// normal build-then-run lifecycle.
+	if v := lz.net.TopoVersion(); v != lz.seenVersion {
+		lz.width = lz.rs.snapshot(lz.net)
+		lz.seenVersion = v
+	}
+	lz.rs.bfs(dest)
+	col := lz.takeColumn()
+	copy(col, lz.rs.parents)
+	lz.handed = append(lz.handed, col)
+	return col
+}
+
+// takeColumn pops a recycled column wide enough for this build, allocating
+// only when none fits.
+func (lz *lazyRouter) takeColumn() []netsim.NodeID {
+	for i := len(lz.colFree) - 1; i >= 0; i-- {
+		if cap(lz.colFree[i]) < lz.width {
+			continue
+		}
+		col := lz.colFree[i][:lz.width]
+		last := len(lz.colFree) - 1
+		lz.colFree[i] = lz.colFree[last]
+		lz.colFree[last] = nil
+		lz.colFree = lz.colFree[:last]
+		return col
+	}
+	lz.carved++
+	return make([]netsim.NodeID, lz.width)
 }

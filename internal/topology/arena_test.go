@@ -13,15 +13,20 @@ import (
 // structurally identical to a from-scratch build with the same seed: reused
 // backing arrays must never leak state between sweep points.
 func TestArenaReuseMatchesFreshBuild(t *testing.T) {
+	// Eager routing so the route-table comparison below compares real
+	// installed entries; lazy rebuild reuse is pinned by the tests in
+	// lazy_test.go.
 	big := DefaultConfig()
 	big.NumRouters = 48
 	big.ExtraVictims = 3
 	big.MultiHomedVictim = true
+	big.Routing = RoutingEager
 
 	small := DefaultConfig()
 	small.NumRouters = 14
 	small.ExtraChords = 3
 	small.BystanderHosts = 5
+	small.Routing = RoutingEager
 
 	for _, style := range []Style{StyleRing, StyleTransitStub} {
 		arena := NewArena()

@@ -6,6 +6,43 @@
 // The generated domains mirror Figure 1 of the paper: legitimate clients and
 // zombies inject traffic at ingress routers, everything converges on the
 // last-hop router, and the victim sits behind it.
+//
+// # Two-level demand-driven routing
+//
+// The package is also the domain's routing authority. Routing state is
+// two-level and produced on demand (Config.Routing = RoutingLazy, the
+// default):
+//
+//   - Level 1 — host aggregation. Forwarding state is indexed by destination
+//     *router*, never by host: a single-homed host is reached by routing to
+//     its attachment router, which delivers locally over the direct access
+//     link. This cuts the width of the routing state from nodes × nodes to
+//     routers-worth of columns. A multi-homed host (e.g. the dual-homed
+//     victim) keeps a dedicated column so the shortest-path tie-break among
+//     its homes is decided exactly as a per-node BFS would.
+//   - Level 2 — lazy columns. No routes exist after Build. When a
+//     destination first appears in live traffic, the network asks the
+//     arena's resolver for that destination's next-hop column: one reverse
+//     BFS over the CSR adjacency snapshot, O(nodes + links), memoized for
+//     the rest of the run. A MAFIC workload only ever routes toward the
+//     victims, the edge sources (ACKs) and the spoof pool (probes), so a
+//     5000-router domain materializes a few dozen columns instead of the
+//     ~5000 × 5000 entries the eager install wrote.
+//
+// Invariants the equivalence tests pin:
+//
+//   - Paths are bit-identical to RoutingEager (the historical all-pairs
+//     install, kept as the oracle): the same BFS with the same ascending
+//     neighbour tie-breaking computes both, and host aggregation is exact
+//     because a single-homed host's shortest-path tree minus the host itself
+//     IS its attachment router's tree.
+//   - A column is materialized at most once per destination router per run,
+//     and hosts alias their router's column rather than copying it.
+//   - Column storage is recycled across sweep points: rebuilding through the
+//     same Arena reclaims every column the previous build handed out.
+//
+// Arena-built domains (and their routing columns) follow the arena ownership
+// rule: valid until the next Build on the same arena.
 package topology
 
 import (
@@ -56,6 +93,36 @@ func (s Style) String() string {
 	}
 }
 
+// RoutingMode selects how the domain's next-hop state is produced.
+type RoutingMode int
+
+// Routing modes.
+const (
+	// RoutingLazy (the default) installs no routes at build time. The
+	// network materializes one next-hop column per active destination
+	// router on demand — a single reverse BFS over the arena's CSR
+	// snapshot, memoized for the run and aggregated over hosts (see the
+	// package comment). Forwarding paths are bit-identical to RoutingEager.
+	RoutingLazy RoutingMode = iota
+	// RoutingEager precomputes next hops for every destination on every
+	// router at build time: O(routers × nodes) entries. It is the
+	// historical behaviour, kept as the equivalence oracle for tests and
+	// for callers that genuinely route to every destination.
+	RoutingEager
+)
+
+// String implements fmt.Stringer.
+func (m RoutingMode) String() string {
+	switch m {
+	case RoutingLazy:
+		return "lazy"
+	case RoutingEager:
+		return "eager"
+	default:
+		return "unknown"
+	}
+}
+
 // Config describes the domain to generate. The zero value is not usable;
 // start from DefaultConfig.
 type Config struct {
@@ -74,6 +141,11 @@ type Config struct {
 	// TransitRouters is the transit-core size for StyleTransitStub; zero
 	// derives NumRouters/6 (minimum 3). Ignored by StyleRing.
 	TransitRouters int
+	// Routing selects demand-driven (lazy, the default) or eager all-pairs
+	// next-hop computation. Paths are identical either way; eager trades
+	// O(routers × nodes) build time and memory for never running a BFS
+	// after the build.
+	Routing RoutingMode
 
 	// CoreLink, AccessLink and VictimLink configure the three classes of
 	// links in the domain.
@@ -121,6 +193,9 @@ func (c Config) Validate() error {
 	}
 	if c.TransitRouters < 0 || (c.Style == StyleTransitStub && c.TransitRouters > c.NumRouters-1) {
 		return fmt.Errorf("%w: transit core %d with %d routers", ErrConfig, c.TransitRouters, c.NumRouters)
+	}
+	if c.Routing != RoutingLazy && c.Routing != RoutingEager {
+		return fmt.Errorf("%w: unknown routing mode %d", ErrConfig, c.Routing)
 	}
 	if c.ClientsPerIngress < 0 || c.ZombiesPerIngress < 0 || c.BystanderHosts < 0 {
 		return fmt.Errorf("%w: negative host counts", ErrConfig)
@@ -389,8 +464,16 @@ func (a *Arena) Build(cfg Config, sched *sim.Scheduler, rng *sim.RNG) (*Domain, 
 		d.Bystanders = append(d.Bystanders, h)
 	}
 
-	if err := a.route.install(net); err != nil {
-		return nil, err
+	// Routing: eager installs the historical all-pairs tables; lazy (the
+	// default) just snapshots the finished graph and registers the arena's
+	// resolver — columns materialize when traffic first needs them.
+	if cfg.Routing == RoutingEager {
+		if err := a.route.install(net); err != nil {
+			return nil, err
+		}
+	} else {
+		a.lazy.bind(&a.route, net)
+		net.SetRouteResolver(&a.lazy)
 	}
 	a.adopt(d)
 	return d, nil

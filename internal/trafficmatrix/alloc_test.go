@@ -1,6 +1,7 @@
 package trafficmatrix
 
 import (
+	"runtime"
 	"testing"
 
 	"mafic/internal/netsim"
@@ -81,6 +82,62 @@ func TestEpochProcessingZeroAlloc(t *testing.T) {
 	}
 	if sink == 0 {
 		t.Fatal("callback never saw traffic; the zero-alloc run proved nothing")
+	}
+}
+
+// TestMonitorReuseRecyclesSketchSlab pins the monitor pool: building a
+// monitor on a fresh same-shaped domain after releasing one must cost a
+// small fraction of the first build's allocations, because the sketch slab —
+// the dominant construction cost — is recycled rather than reallocated.
+func TestMonitorReuseRecyclesSketchSlab(t *testing.T) {
+	measure := func() uint64 {
+		d := smallDomain(t)
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		mon, err := NewMonitor(d.Net, MonitorConfig{Epoch: sim.Second}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runtime.ReadMemStats(&after)
+		mon.Release()
+		return after.Mallocs - before.Mallocs
+	}
+	first := measure()
+	second := measure()
+	if second*4 >= first {
+		t.Fatalf("monitor reuse saved too little: first build %d mallocs, second %d", first, second)
+	}
+}
+
+// TestMonitorReuseLeaksNoCounts verifies recycled sketches are reset: a
+// reused monitor must estimate zero traffic before any packet flows.
+func TestMonitorReuseLeaksNoCounts(t *testing.T) {
+	d := smallDomain(t)
+	mon, err := NewMonitor(d.Net, MonitorConfig{Epoch: 50 * sim.Millisecond}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	floodFrom(d, d.Zombies[0], 200, 60*sim.Millisecond)
+	if err := d.Net.Scheduler().RunUntil(100 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	warm := mon.Compute(d.Net.Now())
+	if warm.DestEstimate(d.LastHop.ID()) == 0 {
+		t.Fatal("setup monitor saw no traffic; the reuse check would prove nothing")
+	}
+	mon.Release()
+
+	d2 := smallDomain(t)
+	mon2, err := NewMonitor(d2.Net, MonitorConfig{Epoch: 50 * sim.Millisecond}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := mon2.Compute(d2.Net.Now())
+	for _, id := range report.Routers {
+		if report.DestEstimate(id) != 0 || report.SourceEstimate(id) != 0 {
+			t.Fatalf("recycled monitor leaked counts at router %d: dest %v src %v",
+				id, report.DestEstimate(id), report.SourceEstimate(id))
+		}
 	}
 }
 

@@ -34,6 +34,7 @@ import (
 
 	"mafic/internal/loglog"
 	"mafic/internal/netsim"
+	"mafic/internal/pool"
 	"mafic/internal/sim"
 )
 
@@ -258,6 +259,10 @@ type Monitor struct {
 	// counterSlab is its backing, one allocation for the whole domain.
 	counters    []*Counter
 	counterSlab []Counter
+	// sketchSlab backs every counter's four sketches (see NewMonitor); it
+	// is retained across Release/NewMonitor cycles so a pooled monitor's
+	// dominant construction cost — the sketch memory — is paid once.
+	sketchSlab []loglog.Sketch
 	// routerIDs lists the instrumented routers ascending; every per-epoch
 	// loop walks this, never a map.
 	routerIDs []netsim.NodeID
@@ -314,9 +319,17 @@ func (c MonitorConfig) Validate() error {
 // ErrMonitorConfig is returned by MonitorConfig.Validate.
 var ErrMonitorConfig = errors.New("trafficmatrix: invalid monitor config")
 
+// monitorPool recycles released monitors across runs. The retained sketch
+// slab is the prize: at stress scale it is tens of megabytes of counter
+// state that would otherwise be reallocated (and re-zeroed by the allocator)
+// for every sweep point.
+var monitorPool = pool.FreeList[Monitor]{Cap: 64}
+
 // NewMonitor creates a monitor and attaches a counter to every router of the
 // network. The onReport callback receives each epoch's traffic matrix; see
-// the package comment for the report's lifetime rules.
+// the package comment for the report's lifetime rules. The monitor (sketch
+// slab included) comes from the package pool when a released one with
+// compatible geometry is available.
 func NewMonitor(net *netsim.Network, cfg MonitorConfig, onReport func(EpochReport)) (*Monitor, error) {
 	if cfg.Buckets <= 0 {
 		cfg.Buckets = loglog.DefaultBuckets
@@ -325,7 +338,12 @@ func NewMonitor(net *netsim.Network, cfg MonitorConfig, onReport func(EpochRepor
 		cfg.Epoch = 100 * sim.Millisecond
 	}
 	routers := net.Routers()
-	ids := make([]netsim.NodeID, 0, len(routers))
+
+	m := monitorPool.Get()
+	if m == nil {
+		m = &Monitor{}
+	}
+	ids := m.routerIDs[:0]
 	maxID := netsim.NodeID(-1)
 	for id := range routers {
 		ids = append(ids, id)
@@ -334,37 +352,107 @@ func NewMonitor(net *netsim.Network, cfg MonitorConfig, onReport func(EpochRepor
 		}
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	width := int(maxID) + 1
 
-	m := &Monitor{
-		sched:     net.Scheduler(),
-		counters:  make([]*Counter, maxID+1),
-		routerIDs: ids,
-		buckets:   cfg.Buckets,
-		epoch:     cfg.Epoch,
-		onReport:  onReport,
-		fresh:     cfg.FreshBuffers,
+	counters := m.counters
+	if cap(counters) >= width {
+		counters = counters[:cap(counters)]
+		for i := range counters {
+			counters[i] = nil
+		}
+		counters = counters[:width]
+	} else {
+		counters = make([]*Counter, width)
 	}
+
 	// One sketch slab and one counter slab cover every router: counter
-	// construction is O(1) allocations regardless of domain size.
-	sketches, err := loglog.NewSlab(4*len(ids), cfg.Buckets)
-	if err != nil {
-		return nil, err
+	// construction is O(1) allocations regardless of domain size, and a
+	// recycled slab with matching bucket geometry is simply reset.
+	need := 4 * len(ids)
+	sketches := m.sketchSlab
+	if len(sketches) >= need && (need == 0 || sketches[0].Buckets() == cfg.Buckets) {
+		for i := range sketches[:need] {
+			sketches[i].Reset()
+		}
+	} else {
+		var err error
+		if sketches, err = loglog.NewSlab(need, cfg.Buckets); err != nil {
+			// Failed constructions must not drain the pool of its
+			// warmed slabs; the next NewMonitor re-initialises every
+			// field, so the half-updated object is safe to recycle.
+			monitorPool.Put(m)
+			return nil, err
+		}
 	}
-	m.counterSlab = make([]Counter, len(ids))
+	counterSlab := m.counterSlab
+	if cap(counterSlab) >= len(ids) {
+		counterSlab = counterSlab[:len(ids)]
+	} else {
+		counterSlab = make([]Counter, len(ids))
+	}
+
+	srcEst, dstEst, scratch := m.srcEst, m.dstEst, m.scratch
+	if cfg.FreshBuffers {
+		srcEst, dstEst, scratch = nil, nil, nil
+	} else {
+		if cap(srcEst) >= width {
+			srcEst = srcEst[:width]
+			dstEst = dstEst[:width]
+		} else {
+			srcEst = make([]float64, width)
+			dstEst = make([]float64, width)
+		}
+		if scratch == nil || scratch.Buckets() != cfg.Buckets {
+			scratch = loglog.MustNew(cfg.Buckets)
+		}
+	}
+
+	*m = Monitor{
+		sched:       net.Scheduler(),
+		counters:    counters,
+		counterSlab: counterSlab,
+		sketchSlab:  sketches,
+		routerIDs:   ids,
+		buckets:     cfg.Buckets,
+		epoch:       cfg.Epoch,
+		onReport:    onReport,
+		fresh:       cfg.FreshBuffers,
+		srcEst:      srcEst,
+		dstEst:      dstEst,
+		matrix:      m.matrix[:0],
+		scratch:     scratch,
+	}
 	for i, id := range ids {
 		c := &m.counterSlab[i]
 		if err := c.init(routers[id], cfg.Buckets, sketches[4*i:4*i+4]); err != nil {
+			m.Release()
 			return nil, err
 		}
 		routers[id].AttachFilter(c)
 		m.counters[id] = c
 	}
-	if !cfg.FreshBuffers {
-		m.srcEst = make([]float64, maxID+1)
-		m.dstEst = make([]float64, maxID+1)
-		m.scratch = loglog.MustNew(cfg.Buckets)
-	}
 	return m, nil
+}
+
+// Release returns the monitor to the package pool for reuse by a later run.
+// Call it only after the simulation that owns the monitor has finished — no
+// epoch tick may fire afterwards — and do not use the monitor again. The
+// sketch slab and report buffers stay with the pooled object; references
+// into the dead domain are dropped so the pool cannot pin a network.
+func (m *Monitor) Release() {
+	m.sched = nil
+	m.onReport = nil
+	m.running = false
+	m.stop = false
+	m.epochIndex = 0
+	m.epochStart = 0
+	for i := range m.counters {
+		m.counters[i] = nil
+	}
+	for i := range m.counterSlab {
+		m.counterSlab[i].router = nil
+	}
+	monitorPool.Put(m)
 }
 
 // Counter returns the counter attached to the given router, or nil.
