@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet check golden bench bench-baseline bench-diff bench-smoke profile
+.PHONY: all build test vet check golden bench bench-baseline bench-diff bench-smoke search search-baseline search-smoke profile
 
 all: build test
 
@@ -21,6 +21,7 @@ check:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
+	$(GO) run ./cmd/maficsearch -quick
 
 # golden re-pins the scenario regression fixtures after an intentional
 # behaviour change. Review the diff before committing it.
@@ -49,6 +50,22 @@ bench-diff:
 # noise. A failure here means a >25% regression slipped past review.
 bench-smoke:
 	$(GO) run ./cmd/maficbench -benchmarks table2,stress-1k,stress-5k -diff BENCH_baseline.json -tolerance 0.25
+
+# search runs the full adversary-search grid (maficbench for robustness) and
+# writes ROBUST_current.json; diff it against the tracked ROBUST_baseline.json
+# to see how the worst-case accuracy per defence config moved.
+search:
+	$(GO) run ./cmd/maficsearch -out ROBUST_current.json
+
+# search-baseline re-records the tracked robustness baseline. Run it in the
+# PR that intentionally changes defence behaviour, and review the diff.
+search-baseline:
+	$(GO) run ./cmd/maficsearch -out ROBUST_baseline.json
+
+# search-smoke is the tiny quick-mode grid `make check` runs: six scaled-down
+# runs proving the harness end-to-end in well under a second.
+search-smoke:
+	$(GO) run ./cmd/maficsearch -quick
 
 # profile runs the headline benchmark under the CPU and allocation profilers
 # so the next hotspot hunt starts from `go tool pprof cpu.pprof` instead of

@@ -41,6 +41,7 @@ func run(args []string, out *os.File) error {
 		scenario = fs.String("scenario", "", "run a registered scenario from the catalog (see -list)")
 		list     = fs.Bool("list", false, "list the registered scenario catalog and exit")
 		quick    = fs.Bool("quick", false, "with -scenario: run the scaled-down variant (same variant the golden tests pin)")
+		hardened = fs.Bool("hardened", false, "enable the robustness hardening (probing memory + ATR hysteresis)")
 		pd       = fs.Float64("pd", 0.90, "MAFIC packet dropping probability Pd")
 		flows    = fs.Int("flows", 50, "total traffic volume Vt (number of flows)")
 		tcpShare = fs.Float64("tcp", 0.95, "fraction of TCP flows Γ")
@@ -108,6 +109,9 @@ func run(args []string, out *os.File) error {
 	}
 	if use("routers") {
 		s.Topology.NumRouters = *routers
+	}
+	if *hardened {
+		s = experiment.Harden(s)
 	}
 	if use("defense") {
 		switch *defense {

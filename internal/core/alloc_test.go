@@ -46,18 +46,121 @@ func TestProbeCycleSteadyStateDoesNotAllocate(t *testing.T) {
 	}
 }
 
+// TestHardenedProbeCycleSteadyStateDoesNotAllocate is the hardened twin of
+// the pin above: with probing memory enabled, the steady-state cycle walks
+// the repeat-condemnation path (memory lookup, saturating increment,
+// classification override into the PDT) and must still not allocate.
+func TestHardenedProbeCycleSteadyStateDoesNotAllocate(t *testing.T) {
+	e := newTestEnv(t)
+	d := e.defender(t, func(c *Config) {
+		h := HardenedConfig()
+		c.ReprobeAfterIdle = h.ReprobeAfterIdle
+		c.CondemnProbes = h.CondemnProbes
+		c.ProbeMemoryCapacity = h.ProbeMemoryCapacity
+		c.DropProbability = 1
+	})
+	victimIP := e.victim.PrimaryIP()
+
+	label := netsim.FlowLabel{
+		SrcIP: e.source.PrimaryIP(), DstIP: victimIP, SrcPort: 4242, DstPort: 80,
+	}
+	pkt := &netsim.Packet{
+		Label: label, Kind: netsim.KindData, Proto: netsim.ProtoTCP, Seq: 1, Size: 500,
+	}
+	pkt.SetFlowHash(label.Hash())
+
+	cycle := func() {
+		d.Activate(victimIP)
+		if got := d.Handle(pkt, e.sched.Now(), e.atr); got != netsim.ActionDrop {
+			t.Fatalf("first-sight packet not dropped into probing: %v", got)
+		}
+		if err := e.sched.Run(); err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+		d.Deactivate()
+	}
+	// Warm past CondemnProbes so steady-state cycles condemn via memory.
+	for i := 0; i < 4; i++ {
+		cycle()
+	}
+	if got := d.Stats().FlowsRepeatCondemned; got == 0 {
+		t.Fatal("warmup never hit the repeat-condemnation path")
+	}
+
+	if allocs := testing.AllocsPerRun(100, cycle); allocs != 0 {
+		t.Fatalf("hardened steady-state probe cycle allocated %.1f times per cycle", allocs)
+	}
+	if d.ProbeMemorySize() != 1 {
+		t.Fatalf("probing memory tracks %d flows, want 1", d.ProbeMemorySize())
+	}
+}
+
+// TestHardenedReprobeSteadyStateDoesNotAllocate pins the other hardened hot
+// path: an established NFT flow that goes idle past ReprobeAfterIdle is
+// demoted and re-probed on its next packet. Once warm, a full idle→reprobe→
+// re-promotion cycle (packet handling, memory bump, probe injection,
+// window-close classification) performs no heap allocation.
+func TestHardenedReprobeSteadyStateDoesNotAllocate(t *testing.T) {
+	e := newTestEnv(t)
+	d := e.defender(t, func(c *Config) {
+		c.ReprobeAfterIdle = 100 * sim.Millisecond
+		// High enough that the flow is re-promoted every cycle instead of
+		// landing in the PDT, so the reprobe path stays hot.
+		c.CondemnProbes = 1 << 14
+		c.DropProbability = 1
+	})
+	victimIP := e.victim.PrimaryIP()
+	d.Activate(victimIP)
+
+	label := netsim.FlowLabel{
+		SrcIP: e.source.PrimaryIP(), DstIP: victimIP, SrcPort: 4243, DstPort: 80,
+	}
+	pkt := &netsim.Packet{
+		Label: label, Kind: netsim.KindData, Proto: netsim.ProtoTCP, Seq: 1, Size: 500,
+	}
+	pkt.SetFlowHash(label.Hash())
+
+	window := d.Config().probeWindow()
+	idle := d.Config().ReprobeAfterIdle
+	now := sim.Time(0)
+
+	cycle := func() {
+		now += idle + window
+		d.Handle(pkt, now, e.atr)
+		if err := e.sched.RunUntil(now + window + sim.Millisecond); err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		cycle()
+	}
+	if got := d.Stats().FlowsReprobed; got < 3 {
+		t.Fatalf("warmup reprobed %d times, want >= 3", got)
+	}
+
+	if allocs := testing.AllocsPerRun(100, cycle); allocs != 0 {
+		t.Fatalf("hardened reprobe cycle allocated %.1f times per cycle", allocs)
+	}
+}
+
 // TestDefenderReleaseReuse guards defender pooling hygiene: a released
 // defender reused by NewDefender must come back with zeroed stats, empty
-// tables and the new run's wiring.
+// tables, empty probing memory and the new run's wiring.
 func TestDefenderReleaseReuse(t *testing.T) {
 	e := newTestEnv(t)
-	d := e.defender(t, func(c *Config) { c.DropProbability = 1 })
+	d := e.defender(t, func(c *Config) {
+		c.DropProbability = 1
+		c.CondemnProbes = 1
+	})
 	d.Activate(e.victim.PrimaryIP())
 	pkt := e.dataPacket(e.source.PrimaryIP(), 999, 1, true)
 	pkt.SetFlowHash(pkt.Label.Hash())
 	d.Handle(pkt, 0, e.atr)
 	if d.Stats().FlowsProbed != 1 {
 		t.Fatalf("setup: expected one probed flow, got %+v", d.Stats())
+	}
+	if d.ProbeMemorySize() != 1 {
+		t.Fatalf("setup: probing memory tracks %d flows, want 1", d.ProbeMemorySize())
 	}
 	d.Release()
 
@@ -79,5 +182,8 @@ func TestDefenderReleaseReuse(t *testing.T) {
 	}
 	if _, state := d2.Tables().Lookup(pkt.FlowHash()); state != flowtable.StateUnknown {
 		t.Fatalf("old flow still tracked after reuse: %v", state)
+	}
+	if d2.ProbeMemorySize() != 0 {
+		t.Fatalf("reused defender kept %d probing-memory entries", d2.ProbeMemorySize())
 	}
 }

@@ -55,6 +55,26 @@ type Config struct {
 	ProbeSize int
 	// TableCapacity bounds each of the SFT/NFT/PDT; zero is unbounded.
 	TableCapacity int
+
+	// ReprobeAfterIdle, when positive, hardens the defender against
+	// source-rotation attacks: an NFT flow whose inter-packet gap exceeds
+	// this duration is demoted back to the SFT and re-probed instead of
+	// keeping its nice classification forever. Legitimate TCP flows pace
+	// continuously at cwnd/RTT even after a timeout, so only sources that
+	// go silent for whole rotation slots trip the demotion. Zero keeps the
+	// paper's behavior: promotion to the NFT is permanent.
+	ReprobeAfterIdle sim.Time
+	// CondemnProbes, when positive, is the probing-memory threshold: a
+	// flow that has entered the SFT this many times is condemned at its
+	// next classification regardless of how responsive it appears. The
+	// defender remembers probe counts per flow across table flushes, so a
+	// rotating source cannot reset suspicion by going quiet. Zero disables
+	// the memory (paper behavior: each probe window judges in isolation).
+	CondemnProbes int
+	// ProbeMemoryCapacity bounds the probing-memory table used by
+	// CondemnProbes; once full, new flows are no longer tracked (existing
+	// suspicion is never evicted). Zero is unbounded.
+	ProbeMemoryCapacity int
 }
 
 // DefaultConfig returns the paper's default parameters (Table II: P_d = 90%,
@@ -87,7 +107,30 @@ func (c Config) Validate() error {
 	if c.DupAcks < 0 {
 		return fmt.Errorf("%w: dup-ACK count must be non-negative", ErrConfig)
 	}
+	if c.ReprobeAfterIdle < 0 {
+		return fmt.Errorf("%w: re-probe idle threshold must be non-negative", ErrConfig)
+	}
+	if c.CondemnProbes < 0 {
+		return fmt.Errorf("%w: condemn-probes threshold must be non-negative", ErrConfig)
+	}
+	if c.ProbeMemoryCapacity < 0 {
+		return fmt.Errorf("%w: probe-memory capacity must be non-negative", ErrConfig)
+	}
 	return nil
+}
+
+// HardenedConfig returns DefaultConfig with the anti-rotation hardening
+// enabled: NFT flows idle for three RTTs are re-probed, and a flow probed
+// three times is condemned outright. Legitimate TCP sources pace continuously
+// (their inter-packet gap is bounded by cwnd/RTT pacing, well under an RTT
+// even after a timeout collapse), so in practice only sources that fall
+// silent for whole rotation slots are demoted and re-counted.
+func HardenedConfig() Config {
+	c := DefaultConfig()
+	c.ReprobeAfterIdle = 3 * c.RTT
+	c.CondemnProbes = 3
+	c.ProbeMemoryCapacity = 1 << 16
+	return c
 }
 
 // ErrConfig is returned for invalid configurations.
@@ -168,6 +211,13 @@ type Stats struct {
 	// FlowsIllegal counts flows sent straight to the PDT for illegal
 	// source addresses.
 	FlowsIllegal uint64
+	// FlowsReprobed counts NFT demotions back to the SFT after an idle
+	// gap exceeded ReprobeAfterIdle (hardened configurations only).
+	FlowsReprobed uint64
+	// FlowsRepeatCondemned counts flows condemned by the probing memory:
+	// they looked responsive in their final window but had been probed
+	// CondemnProbes times (hardened configurations only).
+	FlowsRepeatCondemned uint64
 }
 
 // Defender is a per-ATR MAFIC engine. It implements netsim.Filter; attach it
@@ -194,6 +244,14 @@ type Defender struct {
 	windowEnd   windowCloser
 	probeFree   *probeRecord
 	probeChunks [][]probeRecord
+
+	// probeMemory counts, per flow-label hash, how many times the flow has
+	// entered the SFT. Unlike the flow tables it survives Activate /
+	// Deactivate flushes within a run — that persistence is the whole
+	// point: a rotating source that re-appears after a quiet slot picks up
+	// its suspicion where it left off. Only maintained when
+	// cfg.CondemnProbes > 0; cleared by Release.
+	probeMemory map[uint64]uint16
 }
 
 var _ netsim.Filter = (*Defender)(nil)
@@ -303,6 +361,7 @@ func (d *Defender) Release() {
 			d.probeFree = &chunk[i]
 		}
 	}
+	clear(d.probeMemory)
 	d.active = false
 	d.victimIP = 0
 	d.stats = Stats{}
@@ -326,6 +385,10 @@ func (d *Defender) Stats() Stats { return d.stats }
 
 // Tables exposes the flow tables for inspection (tests, diagnostics).
 func (d *Defender) Tables() *flowtable.Tables { return d.tables }
+
+// ProbeMemorySize reports how many flows the probing memory currently tracks
+// (tests, diagnostics). It is zero unless CondemnProbes is enabled.
+func (d *Defender) ProbeMemorySize() int { return len(d.probeMemory) }
 
 // Active reports whether adaptive dropping is currently enabled.
 func (d *Defender) Active() bool { return d.active }
@@ -416,6 +479,21 @@ func (d *Defender) Handle(pkt *netsim.Packet, now sim.Time, at *netsim.Router) n
 		return d.drop(pkt, DropPermanent, now)
 
 	case flowtable.StateNice:
+		if idle := d.cfg.ReprobeAfterIdle; idle > 0 && now-entry.LastSeen >= idle {
+			// The flow went silent far longer than a paced TCP source
+			// ever does — the signature of a rotating attack group
+			// between slots. Its nice classification is revoked and a
+			// fresh probing cycle starts with this arrival.
+			entry.Packets++
+			entry.LastSeen = now
+			d.reprobe(entry, pkt, now)
+			if d.rng.Bool(d.cfg.DropProbability) {
+				entry.Dropped++
+				return d.drop(pkt, DropProbing, now)
+			}
+			d.stats.Forwarded++
+			return netsim.ActionForward
+		}
 		entry.Packets++
 		entry.LastSeen = now
 		d.stats.Forwarded++
@@ -458,7 +536,27 @@ func (d *Defender) beginProbe(pkt *netsim.Packet, labelHash uint64, now sim.Time
 	entry.Dropped++
 	entry.BaselineCount++
 	d.stats.FlowsProbed++
+	d.rememberProbe(labelHash)
+	d.scheduleProbeCycle(entry, pkt, now)
+}
 
+// reprobe demotes an NFT flow back to the SFT and starts a fresh probing
+// cycle on it (hardened configurations only; see Config.ReprobeAfterIdle).
+// The triggering arrival seeds the new window's baseline count, mirroring
+// beginProbe.
+func (d *Defender) reprobe(entry *flowtable.Entry, pkt *netsim.Packet, now sim.Time) {
+	d.tables.Demote(entry, now, now+d.cfg.probeWindow())
+	entry.BaselineCount++
+	d.stats.FlowsProbed++
+	d.stats.FlowsReprobed++
+	d.rememberProbe(entry.LabelHash)
+	d.scheduleProbeCycle(entry, pkt, now)
+}
+
+// scheduleProbeCycle arms the two events of one probing cycle — the
+// duplicated-ACK injection and the window-close classification — carrying a
+// recycled probeRecord through the allocation-free ArgHandler path.
+func (d *Defender) scheduleProbeCycle(entry *flowtable.Entry, pkt *netsim.Packet, now sim.Time) {
 	rec := d.getProbeRecord()
 	rec.entry, rec.gen = entry, entry.Gen
 	rec.label, rec.proto, rec.seq = pkt.Label, pkt.Proto, pkt.Seq
@@ -466,6 +564,26 @@ func (d *Defender) beginProbe(pkt *netsim.Packet, labelHash uint64, now sim.Time
 	sched := d.router.Network().Scheduler()
 	sched.ScheduleArgAt(now+d.cfg.probeDelay(), &d.probeSend, rec)
 	sched.ScheduleArgAt(entry.ProbeDeadline, &d.windowEnd, rec)
+}
+
+// rememberProbe bumps the flow's probing-memory count. No-op unless the
+// CondemnProbes hardening is enabled.
+func (d *Defender) rememberProbe(labelHash uint64) {
+	if d.cfg.CondemnProbes <= 0 {
+		return
+	}
+	if d.probeMemory == nil {
+		d.probeMemory = make(map[uint64]uint16)
+	}
+	n, tracked := d.probeMemory[labelHash]
+	if !tracked && d.cfg.ProbeMemoryCapacity > 0 && len(d.probeMemory) >= d.cfg.ProbeMemoryCapacity {
+		// Table full: stop admitting new flows rather than evict
+		// accumulated suspicion an attacker could then rebuild from zero.
+		return
+	}
+	if n < ^uint16(0) {
+		d.probeMemory[labelHash] = n + 1
+	}
 }
 
 // fireProbe injects the duplicated ACKs if the flow is still under probing.
@@ -519,6 +637,14 @@ func (d *Defender) classify(entry *flowtable.Entry, _ sim.Time) {
 		responsive = false
 	default:
 		responsive = float64(entry.ResponseCount) <= d.cfg.ResponseFactor*float64(entry.BaselineCount)
+	}
+	if responsive && d.cfg.CondemnProbes > 0 &&
+		int(d.probeMemory[entry.LabelHash]) >= d.cfg.CondemnProbes {
+		// The flow passes each window in isolation, but the probing memory
+		// says it keeps landing back in the SFT — the signature of a source
+		// that games the window (rotation, pulsing) rather than backs off.
+		responsive = false
+		d.stats.FlowsRepeatCondemned++
 	}
 	if responsive {
 		d.tables.Promote(entry)

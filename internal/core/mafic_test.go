@@ -76,6 +76,10 @@ func TestConfigValidate(t *testing.T) {
 		{name: "zero RTT", mutate: func(c *Config) { c.RTT = 0 }, ok: false},
 		{name: "zero window", mutate: func(c *Config) { c.ProbeWindowRTTs = 0 }, ok: false},
 		{name: "negative dup acks", mutate: func(c *Config) { c.DupAcks = -1 }, ok: false},
+		{name: "hardened", mutate: func(c *Config) { *c = HardenedConfig() }, ok: true},
+		{name: "negative reprobe idle", mutate: func(c *Config) { c.ReprobeAfterIdle = -sim.Millisecond }, ok: false},
+		{name: "negative condemn probes", mutate: func(c *Config) { c.CondemnProbes = -1 }, ok: false},
+		{name: "negative memory capacity", mutate: func(c *Config) { c.ProbeMemoryCapacity = -1 }, ok: false},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -404,6 +408,114 @@ func TestStatsAccounting(t *testing.T) {
 	ratio := float64(st.Dropped) / float64(st.Examined)
 	if ratio < 0.35 || ratio > 0.65 {
 		t.Fatalf("drop ratio %.2f too far from Pd=0.5 during probing", ratio)
+	}
+}
+
+func TestIdleNiceFlowReprobedAndCondemnedByMemory(t *testing.T) {
+	e := newTestEnv(t)
+	d := e.defender(t, func(c *Config) {
+		c.DropProbability = 1.0
+		c.ReprobeAfterIdle = 100 * sim.Millisecond
+		c.CondemnProbes = 2
+	})
+	d.Activate(e.victim.PrimaryIP())
+
+	// Probe 1: the flow backs off inside the window and earns the NFT.
+	label := driveFlow(t, e, d, e.source.PrimaryIP(), 1000, 12, 1, false)
+	if _, state := d.Tables().Lookup(label.Hash()); state != flowtable.StateNice {
+		t.Fatalf("setup: flow in %v, want NFT", state)
+	}
+	if d.ProbeMemorySize() != 1 {
+		t.Fatalf("probe memory tracks %d flows, want 1", d.ProbeMemorySize())
+	}
+
+	// The source goes silent for a rotation slot, then returns: its nice
+	// classification must be revoked and a second probe cycle must open.
+	window := sim.Time(float64(d.Config().RTT) * d.Config().ProbeWindowRTTs)
+	back := e.sched.Now() + 150*sim.Millisecond
+	seq := int64(100)
+	emit := func(at sim.Time) {
+		seq++
+		d.Handle(e.dataPacket(e.source.PrimaryIP(), 1000, seq, false), at, e.atr)
+	}
+	emit(back)
+	if got := d.Stats().FlowsReprobed; got != 1 {
+		t.Fatalf("flows reprobed = %d, want 1", got)
+	}
+	if _, state := d.Tables().Lookup(label.Hash()); state != flowtable.StateSuspicious {
+		t.Fatalf("returned flow in %v, want SFT", state)
+	}
+
+	// Probe 2: the flow fakes responsiveness again — but the probing memory
+	// has now seen it twice, so classification condemns it anyway.
+	half := window / 2
+	for i := 0; i < 10; i++ {
+		emit(back + sim.Time(i+1)*half/12)
+	}
+	if err := e.sched.RunUntil(back + window + sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if _, state := d.Tables().Lookup(label.Hash()); state != flowtable.StatePermanentDrop {
+		t.Fatalf("twice-probed flow in %v, want PDT", state)
+	}
+	if got := d.Stats().FlowsRepeatCondemned; got != 1 {
+		t.Fatalf("repeat-condemned = %d, want 1", got)
+	}
+}
+
+func TestContinuousNiceFlowNeverReprobed(t *testing.T) {
+	e := newTestEnv(t)
+	d := e.defender(t, func(c *Config) {
+		c.DropProbability = 1.0
+		c.ReprobeAfterIdle = 100 * sim.Millisecond
+		c.CondemnProbes = 2
+	})
+	d.Activate(e.victim.PrimaryIP())
+
+	label := driveFlow(t, e, d, e.source.PrimaryIP(), 1000, 12, 1, false)
+	if _, state := d.Tables().Lookup(label.Hash()); state != flowtable.StateNice {
+		t.Fatalf("setup: flow in %v, want NFT", state)
+	}
+	// Steady pacing well under the idle threshold, for several thresholds'
+	// worth of time: the hardened defender must leave the flow alone.
+	seq := int64(100)
+	for at := e.sched.Now(); at < e.sched.Now()+400*sim.Millisecond; at += 10 * sim.Millisecond {
+		seq++
+		if d.Handle(e.dataPacket(e.source.PrimaryIP(), 1000, seq, false), at, e.atr) != netsim.ActionForward {
+			t.Fatal("steadily pacing nice flow must be forwarded")
+		}
+	}
+	if got := d.Stats().FlowsReprobed; got != 0 {
+		t.Fatalf("flows reprobed = %d, want 0", got)
+	}
+}
+
+func TestProbeMemoryCapacityStopsAdmitting(t *testing.T) {
+	e := newTestEnv(t)
+	d := e.defender(t, func(c *Config) {
+		c.DropProbability = 1.0
+		c.CondemnProbes = 1
+		c.ProbeMemoryCapacity = 1
+	})
+	d.Activate(e.victim.PrimaryIP())
+
+	d.Handle(e.dataPacket(e.source.PrimaryIP(), 1000, 1, false), 0, e.atr)
+	d.Handle(e.dataPacket(e.source.PrimaryIP(), 2000, 1, false), 0, e.atr)
+	if d.Stats().FlowsProbed != 2 {
+		t.Fatalf("flows probed = %d, want 2", d.Stats().FlowsProbed)
+	}
+	if d.ProbeMemorySize() != 1 {
+		t.Fatalf("probe memory tracks %d flows, want capacity-bounded 1", d.ProbeMemorySize())
+	}
+}
+
+func TestPaperConfigHasNoProbeMemory(t *testing.T) {
+	e := newTestEnv(t)
+	d := e.defender(t, func(c *Config) { c.DropProbability = 1.0 })
+	d.Activate(e.victim.PrimaryIP())
+	d.Handle(e.dataPacket(e.source.PrimaryIP(), 1000, 1, false), 0, e.atr)
+	if d.ProbeMemorySize() != 0 {
+		t.Fatal("paper-faithful config must not build a probing memory")
 	}
 }
 

@@ -56,6 +56,20 @@ func TestScenarioValidateErrors(t *testing.T) {
 			s.Workload.FlashCrowdFlows = 10
 			s.Workload.FlashCrowdStart = s.Duration + sim.Second
 		}},
+		{name: "extra victim share without extra victims", mutate: func(s *Scenario) {
+			s.Workload.ExtraVictimShare = 0.4
+			s.Topology.ExtraVictims = 0
+		}},
+		{name: "coremelt share without bystanders", mutate: func(s *Scenario) {
+			s.Workload.CoremeltShare = 0.5
+			s.Topology.BystanderHosts = 0
+		}},
+		{name: "bad coremelt share", mutate: func(s *Scenario) {
+			s.Workload.CoremeltShare = 1.2
+		}},
+		{name: "hardened knob negative", mutate: func(s *Scenario) {
+			s.MAFIC.CondemnProbes = -1
+		}},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {

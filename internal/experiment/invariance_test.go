@@ -46,6 +46,45 @@ func TestSchedulerBackendInvariance(t *testing.T) {
 	}
 }
 
+// TestHardenedBufferReuseInvariance repeats the pooled-vs-fresh proof with
+// the robustness hardening switched on across the whole catalog: the probing
+// memory and the ATR hysteresis tables are recycled through the same pools,
+// so they too must never leak state between runs. Bit-identical results or
+// the hardened zero-alloc path is unsound.
+func TestHardenedBufferReuseInvariance(t *testing.T) {
+	arena := topology.NewArena()
+
+	for _, e := range Entries() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			pooled := Harden(Quick(e.Build()))
+			fresh := Harden(Quick(e.Build()))
+			fresh.Monitor.FreshBuffers = true
+
+			gotPooled, err := runWith(pooled, arena)
+			if err != nil {
+				t.Fatalf("pooled run: %v", err)
+			}
+			gotFresh, err := runWith(fresh, nil)
+			if err != nil {
+				t.Fatalf("fresh run: %v", err)
+			}
+			if !reflect.DeepEqual(gotPooled, gotFresh) {
+				t.Errorf("hardened pooled and fresh runs diverge")
+				if gotPooled.Counts != gotFresh.Counts {
+					t.Errorf("counts: pooled %+v, fresh %+v", gotPooled.Counts, gotFresh.Counts)
+				}
+				if gotPooled.Accuracy != gotFresh.Accuracy {
+					t.Errorf("accuracy: pooled %v, fresh %v", gotPooled.Accuracy, gotFresh.Accuracy)
+				}
+				if gotPooled.ATRCount != gotFresh.ATRCount {
+					t.Errorf("ATRs: pooled %d, fresh %d", gotPooled.ATRCount, gotFresh.ATRCount)
+				}
+			}
+		})
+	}
+}
+
 // TestBufferReuseInvariance runs every registered scenario (quick mode) down
 // both refactor paths — pooled epoch-report buffers + a shared topology arena
 // versus fresh buffers + fresh builds — and requires bit-identical results.

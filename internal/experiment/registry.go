@@ -199,6 +199,33 @@ func init() {
 			s.Workload.TCPShare = 0.80
 		}))
 
+	MustRegister(builtin("carpet-bombing",
+		"carpet bombing: the flood is spread across eight small victims behind their own routers, so no single |D_j| spikes hard",
+		func(s *Scenario) {
+			s.Topology.ExtraVictims = 8
+			s.Workload.TotalFlows = 70
+			s.Workload.TCPShare = 0.70
+			s.Workload.ExtraVictimShare = 0.75
+		}))
+
+	MustRegister(builtin("coremelt",
+		"coremelt-style: most attack flows cross the transit core toward bystander hosts, congesting the victim's links without ever addressing the victim",
+		func(s *Scenario) {
+			s.Topology = topology.DefaultTransitStubConfig()
+			s.Workload.TotalFlows = 60
+			s.Workload.TCPShare = 0.80
+			s.Workload.CoremeltShare = 0.6
+		}))
+
+	MustRegister(builtin("flash-overlap",
+		"flash crowd arrives 700 ms after the attack, meeting an already-active defender at first sight — worst case for probing collateral",
+		func(s *Scenario) {
+			s.Workload.FlashCrowdFlows = 25
+			s.Workload.FlashCrowdStart = s.Workload.AttackStart + 700*sim.Millisecond
+			s.Workload.FlashCrowdWindow = 150 * sim.Millisecond
+			s.Workload.FlashCrowdRate = s.Workload.LegitRate
+		}))
+
 	MustRegister(builtin("transit-stub",
 		"default flood on a transit-stub domain: a meshed transit core with stub chains, not the intra-AS ring",
 		func(s *Scenario) {

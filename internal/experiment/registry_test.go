@@ -12,8 +12,10 @@ func TestRegistryCatalogSize(t *testing.T) {
 	if len(entries) < 6 {
 		t.Fatalf("catalog has %d scenarios, want >= 6", len(entries))
 	}
-	if _, ok := LookupScenario("table2"); !ok {
-		t.Fatal("table2 default scenario missing from the catalog")
+	for _, name := range []string{"table2", "carpet-bombing", "coremelt", "flash-overlap"} {
+		if _, ok := LookupScenario(name); !ok {
+			t.Fatalf("%s scenario missing from the catalog", name)
+		}
 	}
 }
 

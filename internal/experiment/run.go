@@ -298,6 +298,8 @@ func runWith(s Scenario, arena *topology.Arena) (Result, error) {
 			result.DefenseStats.FlowsNice += st.FlowsNice
 			result.DefenseStats.FlowsCondemned += st.FlowsCondemned
 			result.DefenseStats.FlowsIllegal += st.FlowsIllegal
+			result.DefenseStats.FlowsReprobed += st.FlowsReprobed
+			result.DefenseStats.FlowsRepeatCondemned += st.FlowsRepeatCondemned
 
 			d.Tables().Range(func(hash uint64, state flowtable.State) {
 				switch {

@@ -137,6 +137,22 @@ func DefaultScenario() Scenario {
 	}
 }
 
+// Harden returns a copy of s with the robustness hardening switched on: the
+// defenders gain probing memory and idle-gap re-probing (core.HardenedConfig)
+// and the pushback coordinator gains cross-epoch ATR hysteresis
+// (pushback.HardenedConfig). Scenario-specific tuning of every other knob is
+// preserved.
+func Harden(s Scenario) Scenario {
+	hc := core.HardenedConfig()
+	s.MAFIC.ReprobeAfterIdle = hc.ReprobeAfterIdle
+	s.MAFIC.CondemnProbes = hc.CondemnProbes
+	s.MAFIC.ProbeMemoryCapacity = hc.ProbeMemoryCapacity
+	hp := pushback.HardenedConfig()
+	s.Pushback.ATRRise = hp.ATRRise
+	s.Pushback.ATRDecay = hp.ATRDecay
+	return s
+}
+
 // Validate reports configuration problems before an expensive run.
 func (s Scenario) Validate() error {
 	if s.Duration <= 0 {
@@ -175,6 +191,14 @@ func (s Scenario) Validate() error {
 	}
 	if s.Workload.FlashCrowdFlows > 0 && s.Workload.FlashCrowdStart >= s.Duration {
 		return fmt.Errorf("%w: flash crowd starts after the simulation ends", ErrScenario)
+	}
+	if s.Workload.ExtraVictimShare > 0 && s.Topology.ExtraVictims == 0 {
+		return fmt.Errorf("%w: extra-victim share %v needs topology extra victims",
+			ErrScenario, s.Workload.ExtraVictimShare)
+	}
+	if s.Workload.CoremeltShare > 0 && s.Topology.BystanderHosts == 0 {
+		return fmt.Errorf("%w: coremelt share %v needs topology bystander hosts",
+			ErrScenario, s.Workload.CoremeltShare)
 	}
 	return nil
 }

@@ -1,0 +1,136 @@
+package experiment
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestSearchGridEnumerationDeterministic(t *testing.T) {
+	spec := DefaultSearchSpec()
+	grid := spec.Grid()
+	if want := len(spec.Shapes) * len(spec.RateMixes) * len(spec.VictimSpreads); len(grid) != want {
+		t.Fatalf("grid has %d points, want %d", len(grid), want)
+	}
+	// Nested order: shapes outermost, then mixes, then spreads — and Index
+	// must equal the enumeration position, because it offsets the seed.
+	for i, p := range grid {
+		if p.Index != i {
+			t.Fatalf("point %d carries index %d", i, p.Index)
+		}
+		si := i / (len(spec.RateMixes) * len(spec.VictimSpreads))
+		mi := i / len(spec.VictimSpreads) % len(spec.RateMixes)
+		vi := i % len(spec.VictimSpreads)
+		if p.Shape.Name != spec.Shapes[si].Name || p.Mix.Name != spec.RateMixes[mi].Name ||
+			p.Spread != spec.VictimSpreads[vi] {
+			t.Fatalf("point %d out of order: %s/%s/%v", i, p.Shape.Name, p.Mix.Name, p.Spread)
+		}
+	}
+}
+
+func TestSearchPointScenarioSeeding(t *testing.T) {
+	spec := DefaultSearchSpec()
+	spec.Seed = 42
+	grid := spec.Grid()
+	for _, p := range []SearchPoint{grid[0], grid[len(grid)-1]} {
+		s := spec.scenario(spec.Defences[0], p, true)
+		if s.Seed != spec.Seed+int64(p.Index) {
+			t.Fatalf("point %d seeded %d, want %d", p.Index, s.Seed, spec.Seed+int64(p.Index))
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("point %d scenario invalid: %v", p.Index, err)
+		}
+	}
+}
+
+// TestSearchSerialParallelIdentical is the harness's core determinism claim:
+// the same spec and seed produce a bit-identical report whether the grid runs
+// on one worker or many — so a worst case found on a laptop reproduces on CI.
+func TestSearchSerialParallelIdentical(t *testing.T) {
+	spec := QuickSearchSpec()
+	opts := SearchOptions{Quick: true}
+
+	opts.Workers = 1
+	serial, err := Search(spec, opts)
+	if err != nil {
+		t.Fatalf("serial search: %v", err)
+	}
+	opts.Workers = 4
+	parallel, err := Search(spec, opts)
+	if err != nil {
+		t.Fatalf("parallel search: %v", err)
+	}
+	if !serial.Equal(parallel) {
+		t.Fatal("serial and parallel search reports diverge")
+	}
+
+	// Same seed, second run: same report, same worst case.
+	again, err := Search(spec, SearchOptions{Quick: true})
+	if err != nil {
+		t.Fatalf("repeat search: %v", err)
+	}
+	if !serial.Equal(again) {
+		t.Fatal("repeated search with the same seed diverges")
+	}
+	for i := range serial.Defences {
+		if serial.Defences[i].WorstAccuracy.Name != again.Defences[i].WorstAccuracy.Name {
+			t.Fatalf("defence %q worst case moved between identical runs",
+				serial.Defences[i].Defence)
+		}
+	}
+}
+
+func TestSearchReportShape(t *testing.T) {
+	spec := QuickSearchSpec()
+	report, err := Search(spec, SearchOptions{Quick: true})
+	if err != nil {
+		t.Fatalf("search: %v", err)
+	}
+	if report.GridSize != len(spec.Grid()) {
+		t.Fatalf("grid size %d, want %d", report.GridSize, len(spec.Grid()))
+	}
+	if len(report.Defences) != len(spec.Defences) {
+		t.Fatalf("defences %d, want %d", len(report.Defences), len(spec.Defences))
+	}
+	for _, d := range report.Defences {
+		if len(d.Points) != report.GridSize {
+			t.Fatalf("defence %q has %d points, want %d", d.Defence, len(d.Points), report.GridSize)
+		}
+		worstSeen := false
+		for _, p := range d.Points {
+			if p.Accuracy < 0 || p.Accuracy > 1 {
+				t.Fatalf("point %q accuracy %v outside [0,1]", p.Name, p.Accuracy)
+			}
+			if p == d.WorstAccuracy {
+				worstSeen = true
+			}
+		}
+		if !worstSeen {
+			t.Fatalf("defence %q worst-accuracy point is not one of its grid points", d.Defence)
+		}
+		if d.MeanAccuracy < d.WorstAccuracy.Accuracy {
+			t.Fatalf("defence %q mean %v below worst %v", d.Defence, d.MeanAccuracy, d.WorstAccuracy.Accuracy)
+		}
+	}
+}
+
+func TestSearchRejectsDegenerateSpecs(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*SearchSpec)
+	}{
+		{"no shapes", func(s *SearchSpec) { s.Shapes = nil }},
+		{"no rate mixes", func(s *SearchSpec) { s.RateMixes = nil }},
+		{"no victim spreads", func(s *SearchSpec) { s.VictimSpreads = nil }},
+		{"no defences", func(s *SearchSpec) { s.Defences = nil }},
+		{"invalid base", func(s *SearchSpec) { s.Base.Workload.TotalFlows = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			spec := QuickSearchSpec()
+			tt.mutate(&spec)
+			if _, err := Search(spec, SearchOptions{Quick: true}); !errors.Is(err, ErrScenario) {
+				t.Fatalf("want ErrScenario, got %v", err)
+			}
+		})
+	}
+}

@@ -223,6 +223,20 @@ func (t *Tables) Condemn(e *Entry) {
 	t.move(e, StatePermanentDrop)
 }
 
+// Demote returns an NFT entry to the SFT for a fresh probing cycle, resetting
+// the probe-window bookkeeping while keeping the flow's lifetime counters.
+// The hardened defender uses it to re-probe a "nice" flow whose arrival
+// pattern has turned suspicious again (e.g. a long silent gap consistent with
+// a rotating attack source).
+func (t *Tables) Demote(e *Entry, now, deadline sim.Time) {
+	if e == nil || e.State != StateNice {
+		return
+	}
+	e.ProbeStart, e.ProbeDeadline = now, deadline
+	e.BaselineCount, e.ResponseCount = 0, 0
+	t.move(e, StateSuspicious)
+}
+
 // move transfers an entry between tables and updates its state.
 func (t *Tables) move(e *Entry, to State) {
 	switch e.State {

@@ -45,6 +45,58 @@ func TestHandleReportSteadyStateZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestHysteresisSteadyStateZeroAlloc extends the per-epoch pin to hardened
+// configurations: with ATR hysteresis enabled and pushback active, an epoch
+// that identifies nothing new — the common case — folds shares into the
+// score tables without heap traffic. Only set growth and request re-issue
+// may allocate, and both are rare.
+func TestHysteresisSteadyStateZeroAlloc(t *testing.T) {
+	cfg := Config{
+		AbsoluteThreshold: 500, ATRShare: 0.1,
+		ATRRise: 0.5, ATRDecay: 0.85,
+		DisableWithdraw: true,
+	}
+	c := NewCoordinator(cfg, nil, nil)
+
+	r := trafficmatrix.EpochReport{
+		Routers: []netsim.NodeID{0, 1, 2, 3},
+		DestEst: []float64{10, 20, 30, 1000},
+		Matrix: []trafficmatrix.Cell{
+			{Source: 0, Dest: 3, Packets: 500},
+			{Source: 1, Dest: 3, Packets: 400},
+		},
+	}
+
+	// First report triggers pushback and grows the score tables; a second
+	// warms the steady hysteresis path.
+	r.Epoch = 1
+	c.HandleReport(r)
+	r.Epoch = 2
+	c.HandleReport(r)
+	if !c.Active() || c.IdentifiedATRs() == 0 {
+		t.Fatalf("setup: active=%v identified=%d", c.Active(), c.IdentifiedATRs())
+	}
+
+	epoch := 2
+	allocs := testing.AllocsPerRun(50, func() {
+		epoch++
+		r.Epoch = epoch
+		c.HandleReport(r)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady hysteresis epoch allocates %v, want 0", allocs)
+	}
+
+	// Pool hygiene: a recycled coordinator must not inherit the old run's
+	// identified set or scores.
+	c.Release()
+	c2 := NewCoordinator(cfg, nil, nil)
+	if c2.Active() || c2.IdentifiedATRs() != 0 {
+		t.Fatalf("recycled coordinator leaked hysteresis state (active=%v identified=%d)",
+			c2.Active(), c2.IdentifiedATRs())
+	}
+}
+
 // TestCoordinatorReuseZeroAlloc pins the construction-time win of the
 // coordinator pool: once one released coordinator exists, a NewCoordinator/
 // Release cycle with the same eligibility set allocates nothing — the

@@ -12,6 +12,9 @@ func TestConfigValidate(t *testing.T) {
 	if err := (Config{}).Validate(); err != nil {
 		t.Fatalf("zero config must be valid (all defaults): %v", err)
 	}
+	if err := HardenedConfig().Validate(); err != nil {
+		t.Fatalf("hardened config invalid: %v", err)
+	}
 	tests := []struct {
 		name   string
 		mutate func(*Config)
@@ -26,6 +29,10 @@ func TestConfigValidate(t *testing.T) {
 		{"negative max ATRs", func(c *Config) { c.MaxATRs = -1 }},
 		{"withdraw factor above one", func(c *Config) { c.WithdrawFactor = 2 }},
 		{"negative withdraw epochs", func(c *Config) { c.WithdrawEpochs = -1 }},
+		{"negative ATR rise", func(c *Config) { c.ATRRise = -0.1 }},
+		{"ATR rise above one", func(c *Config) { c.ATRRise = 1.5 }},
+		{"negative ATR decay", func(c *Config) { c.ATRDecay = -0.1 }},
+		{"ATR decay above one", func(c *Config) { c.ATRDecay = 1.1 }},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {

@@ -3,6 +3,30 @@
 // the decision layer from the paper's Section II: when a last-hop router's
 // |D_j| becomes abnormally high, the routers contributing the largest a_ij
 // toward it are flagged as ATRs and told to start adaptive dropping.
+//
+// # ATR hysteresis
+//
+// The paper identifies ATRs once, from the single epoch that crossed the
+// detection threshold. A pulsed or rotating attacker exploits that: only the
+// groups flooding during the triggering epoch are identified, and the groups
+// that were quiet keep an unpoliced path to the victim forever after.
+//
+// Setting Config.ATRRise enables cross-epoch hysteresis. While pushback is in
+// force the coordinator keeps, per eligible router, an exponentially weighted
+// score of its contribution share toward the protected victim:
+//
+//	score' = max(ATRDecay·score, ATRRise·share + (1−ATRRise)·score)
+//
+// A router that contributes grows its score with weight ATRRise; a router
+// that goes quiet keeps ATRDecay of its score per epoch instead of being
+// forgotten outright. When a router's score reaches Config.ATRShare it is
+// added to the identified set and the pushback request is re-issued with the
+// grown set — so an aggregate identified during one flooding slot stays
+// identified through the slots its sources spend silent, and late-arriving
+// groups are picked up the moment they start contributing. Identification is
+// sticky: scores decay, but a router once reported is never silently
+// un-reported (withdrawal resets everything). Both knobs default to zero,
+// which reproduces the paper's one-shot identification exactly.
 package pushback
 
 import (
@@ -82,6 +106,16 @@ type Config struct {
 	// victim-side withdrawal test oscillates; experiments that want the
 	// defence to stay up for the whole run set this.
 	DisableWithdraw bool
+	// ATRRise, when positive, enables cross-epoch ATR hysteresis (see the
+	// package doc): it is the EWMA weight given to a router's current
+	// contribution share when its ATR score rises. Zero disables
+	// hysteresis and reproduces the paper's one-shot identification.
+	ATRRise float64
+	// ATRDecay is the fraction of a router's ATR score retained through an
+	// epoch in which the router contributes nothing — the memory that
+	// keeps a rotating attacker's quiet groups identified. Only meaningful
+	// with ATRRise > 0; zero selects the default 0.85.
+	ATRDecay float64
 	// Eligible restricts ATR identification to the given routers
 	// (typically the domain's ingress routers). Empty means any router
 	// may be identified.
@@ -122,6 +156,12 @@ func (c Config) Validate() error {
 	if c.WithdrawEpochs < 0 {
 		return fmt.Errorf("%w: withdraw epochs %d", ErrConfig, c.WithdrawEpochs)
 	}
+	if c.ATRRise < 0 || c.ATRRise > 1 {
+		return fmt.Errorf("%w: ATR rise %v outside [0,1]", ErrConfig, c.ATRRise)
+	}
+	if c.ATRDecay < 0 || c.ATRDecay > 1 {
+		return fmt.Errorf("%w: ATR decay %v outside [0,1]", ErrConfig, c.ATRDecay)
+	}
 	return nil
 }
 
@@ -138,6 +178,18 @@ func DefaultConfig() Config {
 		WithdrawFactor:    0.5,
 		WithdrawEpochs:    2,
 	}
+}
+
+// HardenedConfig returns DefaultConfig with cross-epoch ATR hysteresis
+// enabled: contribution shares fold into the ATR scores with weight 0.5 and
+// quiet routers keep 85% of their score per epoch, so a rotating attacker's
+// currently-silent groups stay identified and newly flooding groups are
+// reported within an epoch or two of their first slot.
+func HardenedConfig() Config {
+	c := DefaultConfig()
+	c.ATRRise = 0.5
+	c.ATRDecay = 0.85
+	return c
 }
 
 // Coordinator consumes traffic-matrix epoch reports and raises/withdraws
@@ -160,6 +212,17 @@ type Coordinator struct {
 
 	// cellScratch is the reusable buffer behind ATR ranking.
 	cellScratch []trafficmatrix.Cell
+
+	// Hysteresis state (Config.ATRRise > 0 only). atrScore is the EWMA
+	// contribution share of each router toward the active victim,
+	// identifiedATR marks routers already reported in a request, and
+	// shareScratch is the per-epoch dense share buffer. All three are
+	// dense, NodeID-indexed, grown together, and reused across epochs so
+	// a steady-state epoch with no new identification allocates nothing.
+	atrScore      []float64
+	identifiedATR []bool
+	shareScratch  []float64
+	identified    int
 
 	active        bool
 	activeVictim  netsim.NodeID
@@ -202,18 +265,24 @@ func NewCoordinator(cfg Config, onPushback func(Request), onWithdraw func(victim
 	if cfg.MinHistoryEpochs <= 0 {
 		cfg.MinHistoryEpochs = 2
 	}
+	if cfg.ATRRise > 0 && cfg.ATRDecay <= 0 {
+		cfg.ATRDecay = 0.85
+	}
 	// Full reinitialisation over the recycled backing: truncated (not
-	// dropped) tables keep their capacity, and growHistory writes every
-	// appended slot, so no state can leak between owners.
+	// dropped) tables keep their capacity, and growHistory / growScores
+	// write every appended slot, so no state can leak between owners.
 	*c = Coordinator{
-		cfg:          cfg,
-		onPushback:   onPushback,
-		onWithdraw:   onWithdraw,
-		eligible:     eligible,
-		history:      c.history[:0],
-		historyOK:    c.historyOK[:0],
-		cellScratch:  c.cellScratch[:0],
-		historyAlpha: 0.5,
+		cfg:           cfg,
+		onPushback:    onPushback,
+		onWithdraw:    onWithdraw,
+		eligible:      eligible,
+		history:       c.history[:0],
+		historyOK:     c.historyOK[:0],
+		cellScratch:   c.cellScratch[:0],
+		atrScore:      c.atrScore[:0],
+		identifiedATR: c.identifiedATR[:0],
+		shareScratch:  c.shareScratch[:0],
+		historyAlpha:  0.5,
 	}
 	return c
 }
@@ -239,11 +308,16 @@ func (c *Coordinator) ActiveVictim() netsim.NodeID { return c.activeVictim }
 // Requests reports how many pushback requests have been raised so far.
 func (c *Coordinator) Requests() int { return c.requestsFired }
 
+// IdentifiedATRs reports the size of the hysteresis identified set; zero
+// unless ATRRise is enabled and pushback is active.
+func (c *Coordinator) IdentifiedATRs() int { return c.identified }
+
 // HandleReport is wired as the traffic-matrix monitor's epoch callback.
 func (c *Coordinator) HandleReport(report trafficmatrix.EpochReport) {
 	victim, load, threshold, found := c.detectVictim(report)
 	c.updateHistory(report, found, victim)
 	if c.active {
+		c.updateATRScores(report)
 		c.maybeWithdraw(found, victim, load)
 		return
 	}
@@ -261,8 +335,116 @@ func (c *Coordinator) HandleReport(report trafficmatrix.EpochReport) {
 	c.triggerLoad = threshold
 	c.calmEpochs = 0
 	c.requestsFired++
+	c.seedATRScores(req.ATRs)
 	if c.onPushback != nil {
 		c.onPushback(req)
+	}
+}
+
+// seedATRScores initialises the hysteresis state from the triggering epoch's
+// identified set. No-op unless hysteresis is enabled.
+func (c *Coordinator) seedATRScores(atrs []ATR) {
+	if c.cfg.ATRRise <= 0 {
+		return
+	}
+	for _, a := range atrs {
+		c.growScores(a.Router)
+		c.atrScore[a.Router] = a.Share
+		c.identifiedATR[a.Router] = true
+		c.identified++
+	}
+}
+
+// growScores sizes the dense hysteresis tables to cover id.
+func (c *Coordinator) growScores(id netsim.NodeID) {
+	for int(id) >= len(c.atrScore) {
+		c.atrScore = append(c.atrScore, 0)
+		c.identifiedATR = append(c.identifiedATR, false)
+		c.shareScratch = append(c.shareScratch, 0)
+	}
+}
+
+// updateATRScores runs one hysteresis step while pushback is active: fold the
+// epoch's contribution shares into the per-router scores and, if any eligible
+// router's score crossed ATRShare for the first time, re-issue the pushback
+// request with the grown identified set. Epochs that identify nothing new
+// allocate nothing.
+func (c *Coordinator) updateATRScores(report trafficmatrix.EpochReport) {
+	if c.cfg.ATRRise <= 0 {
+		return
+	}
+	load := report.DestEstimate(c.activeVictim)
+	c.cellScratch = report.AppendTopSources(c.cellScratch[:0], c.activeVictim)
+	for i := range c.shareScratch {
+		c.shareScratch[i] = 0
+	}
+	for _, cell := range c.cellScratch {
+		if cell.Source == c.activeVictim {
+			continue
+		}
+		c.growScores(cell.Source)
+		if load > 0 {
+			c.shareScratch[cell.Source] = cell.Packets / load
+		}
+	}
+	rise, decay := c.cfg.ATRRise, c.cfg.ATRDecay
+	grew := false
+	for i := range c.atrScore {
+		score := rise*c.shareScratch[i] + (1-rise)*c.atrScore[i]
+		if floor := decay * c.atrScore[i]; floor > score {
+			score = floor
+		}
+		c.atrScore[i] = score
+		if score < c.cfg.ATRShare || c.identifiedATR[i] {
+			continue
+		}
+		id := netsim.NodeID(i)
+		if c.eligible != nil && !c.eligible[id] {
+			continue
+		}
+		if c.cfg.MaxATRs > 0 && c.identified >= c.cfg.MaxATRs {
+			continue
+		}
+		c.identifiedATR[i] = true
+		c.identified++
+		grew = true
+	}
+	if grew {
+		c.fireIdentifiedSet(report.Epoch, load)
+	}
+}
+
+// fireIdentifiedSet re-issues the pushback request carrying the full
+// identified set, largest current score first. Packets is reconstructed from
+// the score and the victim's current load, so it is an EWMA estimate rather
+// than a single-epoch a_ij.
+func (c *Coordinator) fireIdentifiedSet(epoch int, load float64) {
+	atrs := make([]ATR, 0, c.identified)
+	for i, ok := range c.identifiedATR {
+		if !ok {
+			continue
+		}
+		score := c.atrScore[i]
+		atrs = append(atrs, ATR{Router: netsim.NodeID(i), Packets: score * load, Share: score})
+	}
+	slices.SortFunc(atrs, func(a, b ATR) int {
+		switch {
+		case a.Share > b.Share:
+			return -1
+		case a.Share < b.Share:
+			return 1
+		default:
+			return int(a.Router - b.Router)
+		}
+	})
+	c.requestsFired++
+	if c.onPushback != nil {
+		c.onPushback(Request{
+			Epoch:        epoch,
+			VictimRouter: c.activeVictim,
+			VictimLoad:   load,
+			ATRs:         atrs,
+		})
 	}
 }
 
@@ -401,7 +583,19 @@ func (c *Coordinator) maybeWithdraw(found bool, victim netsim.NodeID, load float
 	}
 	c.active = false
 	c.calmEpochs = 0
+	c.resetATRScores()
 	if c.onWithdraw != nil {
 		c.onWithdraw(c.activeVictim)
 	}
+}
+
+// resetATRScores clears the hysteresis state when pushback is withdrawn, so a
+// later attack starts identification from scratch.
+func (c *Coordinator) resetATRScores() {
+	for i := range c.atrScore {
+		c.atrScore[i] = 0
+		c.identifiedATR[i] = false
+		c.shareScratch[i] = 0
+	}
+	c.identified = 0
 }

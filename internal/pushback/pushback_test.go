@@ -243,6 +243,105 @@ func TestHistoryBasedDetection(t *testing.T) {
 	}
 }
 
+// TestHysteresisIdentifiesRotatingGroups walks the rolling-pulse hole the
+// hysteresis closes: groups that flood in different epochs must all end up
+// identified, an identified router must stay identified while its sources
+// are silent, and withdrawal must reset the whole identified set.
+func TestHysteresisIdentifiesRotatingGroups(t *testing.T) {
+	var last *Request
+	cfg := Config{
+		AbsoluteThreshold: 500, ATRShare: 0.1,
+		ATRRise: 0.5, ATRDecay: 0.85,
+		WithdrawFactor: 0.5, WithdrawEpochs: 2,
+		Eligible: []netsim.NodeID{10, 11},
+	}
+	c := NewCoordinator(cfg, func(r Request) { last = &r }, nil)
+
+	dests := map[netsim.NodeID]float64{3: 1000}
+
+	// Epoch 1: group A (router 10) floods and triggers pushback.
+	c.HandleReport(report(1, dests, []trafficmatrix.Cell{{Source: 10, Dest: 3, Packets: 900}}))
+	if last == nil || len(last.ATRs) != 1 || last.ATRs[0].Router != 10 {
+		t.Fatalf("trigger request wrong: %+v", last)
+	}
+	if c.IdentifiedATRs() != 1 {
+		t.Fatalf("identified = %d after trigger, want 1", c.IdentifiedATRs())
+	}
+
+	// Epoch 2: the baton passes to group B (router 11); router 10 goes
+	// quiet. The grown set must be re-issued with BOTH routers, the quiet
+	// one ranked first on its decayed score.
+	last = nil
+	c.HandleReport(report(2, dests, []trafficmatrix.Cell{{Source: 11, Dest: 3, Packets: 900}}))
+	if last == nil {
+		t.Fatal("newly contributing router must re-fire the request")
+	}
+	if len(last.ATRs) != 2 || last.ATRs[0].Router != 10 || last.ATRs[1].Router != 11 {
+		t.Fatalf("grown set wrong: %+v", last.ATRs)
+	}
+	if last.ATRs[0].Share <= last.ATRs[1].Share {
+		t.Fatalf("decayed score %v should still outrank fresh score %v",
+			last.ATRs[0].Share, last.ATRs[1].Share)
+	}
+	if c.IdentifiedATRs() != 2 || c.Requests() != 2 {
+		t.Fatalf("identified=%d requests=%d, want 2/2", c.IdentifiedATRs(), c.Requests())
+	}
+
+	// Epochs 3..20: only group B keeps flooding. Router 10's score decays
+	// below ATRShare, an ineligible router 12 joins the flood — neither
+	// may change the identified set or fire another request.
+	last = nil
+	for epoch := 3; epoch <= 20; epoch++ {
+		c.HandleReport(report(epoch, dests, []trafficmatrix.Cell{
+			{Source: 11, Dest: 3, Packets: 900},
+			{Source: 12, Dest: 3, Packets: 900},
+		}))
+	}
+	if last != nil {
+		t.Fatalf("no new eligible router, yet a request fired: %+v", last)
+	}
+	if c.IdentifiedATRs() != 2 || c.Requests() != 2 {
+		t.Fatalf("identification must be sticky: identified=%d requests=%d, want 2/2",
+			c.IdentifiedATRs(), c.Requests())
+	}
+
+	// The attack stops: withdrawal resets the hysteresis state so a later
+	// attack starts identification from scratch.
+	c.HandleReport(report(21, map[netsim.NodeID]float64{3: 100}, nil))
+	c.HandleReport(report(22, map[netsim.NodeID]float64{3: 100}, nil))
+	if c.Active() {
+		t.Fatal("should have withdrawn after two calm epochs")
+	}
+	if c.IdentifiedATRs() != 0 {
+		t.Fatalf("withdrawal left %d identified ATRs, want 0", c.IdentifiedATRs())
+	}
+}
+
+// TestHysteresisDisabledReproducesPaper pins the default: with ATRRise zero
+// a rotating attack gets exactly the paper's one-shot identification — one
+// request naming only the triggering epoch's contributors.
+func TestHysteresisDisabledReproducesPaper(t *testing.T) {
+	fired := 0
+	var last *Request
+	cfg := Config{AbsoluteThreshold: 500, ATRShare: 0.1, DisableWithdraw: true}
+	c := NewCoordinator(cfg, func(r Request) { fired++; last = &r }, nil)
+
+	dests := map[netsim.NodeID]float64{3: 1000}
+	c.HandleReport(report(1, dests, []trafficmatrix.Cell{{Source: 10, Dest: 3, Packets: 900}}))
+	for epoch := 2; epoch <= 10; epoch++ {
+		c.HandleReport(report(epoch, dests, []trafficmatrix.Cell{{Source: 11, Dest: 3, Packets: 900}}))
+	}
+	if fired != 1 {
+		t.Fatalf("paper identification fired %d requests, want the one-shot", fired)
+	}
+	if len(last.ATRs) != 1 || last.ATRs[0].Router != 10 {
+		t.Fatalf("one-shot set wrong: %+v", last.ATRs)
+	}
+	if c.IdentifiedATRs() != 0 {
+		t.Fatal("hysteresis set must stay empty with ATRRise disabled")
+	}
+}
+
 func TestHistoryMinimumLoadGuard(t *testing.T) {
 	fired := false
 	cfg := Config{HistoryFactor: 1.5, MinHistoryEpochs: 2, MinVictimLoad: 500, ATRShare: 0.05}

@@ -205,15 +205,26 @@ func (s *Scheduler) push(e timedEnt) {
 	}
 }
 
-// peekMin returns the minimal pending entry without removing it.
+// peekMin returns the minimal live pending entry without removing it,
+// discarding any cancelled entries in front of it. A cancelled timestamp
+// must not be reported as pending: RunUntil bounds its deadline check on
+// this peek, and treating a cancelled slot as runnable work would let step
+// fire the next live event even when that event lies past the deadline.
 func (s *Scheduler) peekMin() (timedEnt, bool) {
-	if s.backend == BackendHeap {
-		if len(s.heap) == 0 {
-			return timedEnt{}, false
+	for s.Len() > 0 {
+		var top timedEnt
+		if s.backend == BackendHeap {
+			top = s.heap[0]
+		} else {
+			top, _ = s.cal.peek()
 		}
-		return s.heap[0], true
+		if s.events[top.idx].state == eventQueued {
+			return top, true
+		}
+		s.popMin()
+		s.release(top.idx)
 	}
-	return s.cal.peek()
+	return timedEnt{}, false
 }
 
 // popMin removes and returns the minimal pending entry. The caller must

@@ -290,6 +290,9 @@ func TestWorkloadSpecValidate(t *testing.T) {
 		{TotalFlows: 10, TCPShare: 0.5, UDPShare: 0.6, AttackRate: 1, LegitRate: 1},
 		{TotalFlows: 10, TCPShare: 0.5, AttackRate: 0, LegitRate: 1},
 		{TotalFlows: 10, TCPShare: 0.5, AttackRate: 1, LegitRate: 1, SpoofIllegalFraction: 0.8, SpoofLegitFraction: 0.4},
+		{TotalFlows: 10, TCPShare: 0.5, AttackRate: 1, LegitRate: 1, CoremeltShare: -0.1},
+		{TotalFlows: 10, TCPShare: 0.5, AttackRate: 1, LegitRate: 1, CoremeltShare: 1.2},
+		{TotalFlows: 10, TCPShare: 0.5, AttackRate: 1, LegitRate: 1, CoremeltShare: 0.6, ExtraVictimShare: 0.6},
 	}
 	for i, spec := range bad {
 		if err := spec.Validate(); !errors.Is(err, ErrBadSpec) {
@@ -365,6 +368,52 @@ func TestBuildWorkloadErrors(t *testing.T) {
 	}
 	if _, err := BuildWorkload(DefaultWorkloadSpec(), empty, sim.NewRNG(1)); !errors.Is(err, ErrNoSources) {
 		t.Fatalf("want ErrNoSources, got %v", err)
+	}
+}
+
+// TestWorkloadCoremeltTargetsBystanders checks the coremelt split: the
+// configured share of attack flows must flood bystander hosts instead of the
+// victim, stay marked malicious, and fail loudly on a bystander-less domain.
+func TestWorkloadCoremeltTargetsBystanders(t *testing.T) {
+	d := testDomain(t)
+	spec := DefaultWorkloadSpec()
+	spec.TotalFlows = 40
+	spec.TCPShare = 0.5 // 20 attack flows
+	spec.CoremeltShare = 0.5
+	w, err := BuildWorkload(spec, d, sim.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bystanderIPs := make(map[netsim.IP]bool)
+	for _, b := range d.Bystanders {
+		bystanderIPs[b.PrimaryIP()] = true
+	}
+	coremelt := 0
+	for _, f := range w.Attack {
+		if !bystanderIPs[f.Label().DstIP] {
+			continue
+		}
+		coremelt++
+		if !f.Malicious() {
+			t.Fatal("coremelt flow not marked malicious")
+		}
+	}
+	if want := 10; coremelt != want {
+		t.Fatalf("coremelt flows = %d, want %d (half of 20 attack flows)", coremelt, want)
+	}
+
+	// Without bystander hosts the same spec must be rejected at build time.
+	cfg := topology.DefaultConfig()
+	cfg.NumRouters = 10
+	cfg.ClientsPerIngress = 3
+	cfg.ZombiesPerIngress = 2
+	cfg.BystanderHosts = 0
+	bare, err := topology.Build(cfg, sim.NewScheduler(), sim.NewRNG(5))
+	if err != nil {
+		t.Fatalf("build bystander-less domain: %v", err)
+	}
+	if _, err := BuildWorkload(spec, bare, sim.NewRNG(3)); !errors.Is(err, ErrBadSpec) {
+		t.Fatalf("want ErrBadSpec for coremelt without bystanders, got %v", err)
 	}
 }
 

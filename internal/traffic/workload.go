@@ -74,6 +74,14 @@ type WorkloadSpec struct {
 	// extra victims when the share is positive.
 	ExtraVictimShare float64
 
+	// CoremeltShare is the fraction of attack flows aimed at bystander
+	// hosts (round-robin) instead of any victim — a coremelt-style attack
+	// that congests the transit links the victim's traffic crosses while
+	// never addressing the victim itself, so victim-destination filters
+	// cannot see it. The domain must provide bystander hosts when the
+	// share is positive.
+	CoremeltShare float64
+
 	// FlashCrowdFlows adds this many extra legitimate TCP flows that all
 	// start inside FlashCrowdWindow after FlashCrowdStart — a flash crowd
 	// with no spoofing that a good defence must tell apart from an
@@ -181,6 +189,13 @@ func (s WorkloadSpec) Validate() error {
 	}
 	if s.ExtraVictimShare < 0 || s.ExtraVictimShare > 1 {
 		return fmt.Errorf("%w: extra victim share %v", ErrBadSpec, s.ExtraVictimShare)
+	}
+	if s.CoremeltShare < 0 || s.CoremeltShare > 1 {
+		return fmt.Errorf("%w: coremelt share %v", ErrBadSpec, s.CoremeltShare)
+	}
+	if s.CoremeltShare+s.ExtraVictimShare > 1.0+1e-9 {
+		return fmt.Errorf("%w: coremelt share %v + extra victim share %v exceed 1",
+			ErrBadSpec, s.CoremeltShare, s.ExtraVictimShare)
 	}
 	if s.FlashCrowdFlows < 0 || s.FlashCrowdRate < 0 || s.FlashCrowdStart < 0 || s.FlashCrowdWindow < 0 {
 		return fmt.Errorf("%w: flash crowd parameters", ErrBadSpec)
@@ -344,6 +359,23 @@ func BuildWorkload(spec WorkloadSpec, d *topology.Domain, rng *sim.RNG) (*Worklo
 		}
 	}
 
+	// Coremelt-style flows: the leading share of attack flows floods
+	// bystander hosts across the transit core, never addressing a victim.
+	coremeltAim := int(math.Round(spec.CoremeltShare * float64(attackCount)))
+	if coremeltAim > attackCount-extraAim {
+		coremeltAim = attackCount - extraAim
+	}
+	var bystanderIPs []netsim.IP
+	if coremeltAim > 0 {
+		if len(d.Bystanders) == 0 {
+			return nil, fmt.Errorf("%w: coremelt share %v but domain has no bystander hosts",
+				ErrBadSpec, spec.CoremeltShare)
+		}
+		for _, b := range d.Bystanders {
+			bystanderIPs = append(bystanderIPs, b.PrimaryIP())
+		}
+	}
+
 	spoofPool := d.SpoofPool()
 	illegalFlows := int(math.Round(spec.SpoofIllegalFraction * float64(attackCount)))
 	legitSpoofFlows := int(math.Round(spec.SpoofLegitFraction * float64(attackCount)))
@@ -363,8 +395,11 @@ func BuildWorkload(spec WorkloadSpec, d *topology.Domain, rng *sim.RNG) (*Worklo
 		}
 
 		target := victimIP
-		if n := attackCount - extraAim; i >= n && len(extraIPs) > 0 {
-			target = extraIPs[(i-n)%len(extraIPs)]
+		switch {
+		case i < coremeltAim:
+			target = bystanderIPs[i%len(bystanderIPs)]
+		case i >= attackCount-extraAim && len(extraIPs) > 0:
+			target = extraIPs[(i-(attackCount-extraAim))%len(extraIPs)]
 		}
 		rate := spec.AttackRate
 		if len(spec.AttackRateMix) > 0 {
