@@ -40,16 +40,23 @@ bench-baseline:
 	$(GO) run ./cmd/maficbench -out BENCH_baseline.json
 
 # bench-diff is the performance regression gate: it re-measures every figure
-# benchmark, prints a comparison table against the tracked baseline, and
-# exits non-zero if any benchmark's ns/op or allocs/op grew by more than 10%.
+# benchmark (median-of-3 process-CPU-time samples, immune to host CPU-steal),
+# prints a comparison table against the tracked baseline, and exits non-zero
+# on regression. allocs/op and B/op carry the strict 10% gate — they are
+# exactly reproducible, so any excursion is a real code change. The ns/op
+# tolerance is 25% while the tracked baseline's ns rows are still wall-clock
+# recordings (wall ≈ CPU only when the host was quiet); the next
+# bench-baseline re-record puts both sides on CPU time.
 bench-diff:
-	$(GO) run ./cmd/maficbench -out BENCH_current.json -diff BENCH_baseline.json
+	$(GO) run ./cmd/maficbench -out BENCH_current.json -diff BENCH_baseline.json -tolerance 0.25
 
 # bench-smoke is the quick-mode regression gate CI runs on a schedule: only
-# the headline benchmarks, with a looser tolerance to absorb shared-runner
-# noise. A failure here means a >25% regression slipped past review.
+# the headline benchmarks, with a looser ns/op tolerance to absorb
+# shared-runner noise (allocs/op and B/op stay on the strict gate). A failure
+# here means a >25% wall-clock or >10% allocation regression slipped past
+# review.
 bench-smoke:
-	$(GO) run ./cmd/maficbench -benchmarks table2,stress-1k,stress-5k -diff BENCH_baseline.json -tolerance 0.25
+	$(GO) run ./cmd/maficbench -benchmarks table2,stress-1k,stress-5k,stress-50k -diff BENCH_baseline.json -tolerance 0.25
 
 # search runs the full adversary-search grid (maficbench for robustness) and
 # writes ROBUST_current.json; diff it against the tracked ROBUST_baseline.json

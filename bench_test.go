@@ -100,6 +100,12 @@ func BenchmarkStress1k(b *testing.B) { benchRegistryScenario(b, "stress-1k") }
 // build-measure-defend cycle at 125x the paper's domain size.
 func BenchmarkStress5k(b *testing.B) { benchRegistryScenario(b, "stress-5k") }
 
+// BenchmarkStress50k runs the 50000-router scale scenario: sparse adjacency
+// rows and the monitored-only traffic matrix keep the build O(nodes+links),
+// so one iteration is a full build-measure-defend cycle at 1250x the paper's
+// domain size.
+func BenchmarkStress50k(b *testing.B) { benchRegistryScenario(b, "stress-50k") }
+
 // BenchmarkFig3aAccuracyVsVolumeByPd regenerates Figure 3(a).
 func BenchmarkFig3aAccuracyVsVolumeByPd(b *testing.B) { benchFigure(b, experiment.FigureF3a) }
 

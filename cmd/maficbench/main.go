@@ -9,9 +9,12 @@
 //	go run ./cmd/maficbench -out BENCH_current.json
 //	go run ./cmd/maficbench -benchmarks table2,fig3a
 //
-// Each record reports ns/op, B/op and allocs/op exactly as
+// Each record reports B/op and allocs/op exactly as
 // `go test -bench=. -benchmem` would, because the tool drives the same code
-// through testing.Benchmark.
+// through testing.Benchmark. ns/op is the median of -samples process-CPU-time
+// measurements of the same loop (see BenchResult.NsPerOp): wall-clock on a
+// shared host flaps ±15–30% on identical code from CPU the host steals, and
+// a regression gate needs a measurement that holds still.
 package main
 
 import (
@@ -21,7 +24,9 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strings"
+	"syscall"
 	"testing"
 
 	"mafic/internal/experiment"
@@ -34,9 +39,18 @@ import (
 // count and bytes are a tracked property of each scenario, not a constant of
 // the domain size.
 type BenchResult struct {
-	Name         string  `json:"name"`
-	Iterations   int     `json:"iterations"`
+	Name       string `json:"name"`
+	Iterations int    `json:"iterations"`
+	// NsPerOp is the median across the run's samples (see -samples) of
+	// *process CPU time* per op, not wall-clock: time the host steals from
+	// the process (noisy neighbours, cgroup throttling) inflates wall-clock
+	// by ±15–30% on identical code but never shows up as CPU consumed, so
+	// CPU time is the measurement a regression gate can hold still on. On a
+	// quiet single-core host the two are equal; parallel sweep benchmarks
+	// report total work across workers rather than elapsed time. Samples
+	// records how many samples went into the median.
 	NsPerOp      float64 `json:"nsPerOp"`
+	Samples      int     `json:"samples,omitempty"`
 	BytesPerOp   int64   `json:"bytesPerOp"`
 	AllocsPerOp  int64   `json:"allocsPerOp"`
 	RouteEntries int     `json:"routeEntries,omitempty"`
@@ -71,59 +85,105 @@ func benchOpts() experiment.SweepOptions {
 	return experiment.SweepOptions{Quick: true, Seed: 1, Base: &base}
 }
 
-// benchEntry is one tracked benchmark. Scenario benchmarks carry a lastRun
-// slot the loop fills, so the emitted record can report the run's resident
-// route state without re-running the scenario.
+// benchEntry is one tracked benchmark. fn drives the workload through
+// testing.Benchmark for the deterministic counters (allocs/op, B/op) and
+// iteration calibration; prep performs the same setup and untimed warm-up
+// once and returns the bare measured loop, which the main loop times with
+// process CPU time for the ns/op samples. Scenario benchmarks carry a
+// lastRun slot the loops fill, so the emitted record can report the run's
+// resident route state without re-running the scenario.
 type benchEntry struct {
 	name    string
 	fn      func(b *testing.B)
+	prep    func() (func(n int) error, error)
 	lastRun *experiment.Result
 }
 
-// scenarioBench builds a benchmark that runs one scenario per iteration and
-// records the final iteration's Result for route-stat reporting. One untimed
-// warm-up run precedes the measured loop so B/op and allocs/op report the
-// pooled steady state instead of a cold-start cost amortized over an
-// iteration count that varies run to run.
-func scenarioBench(build func(b *testing.B) experiment.Scenario) (func(b *testing.B), *experiment.Result) {
-	last := new(experiment.Result)
+// cpuTimeNs reports the process's cumulative CPU time (user + system) in
+// nanoseconds. Unlike wall-clock it is unaffected by CPU the host steals
+// from the process, which is what makes the ns/op gate stable on shared
+// machines.
+func cpuTimeNs() float64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return float64(ru.Utime.Sec+ru.Stime.Sec)*1e9 +
+		float64(ru.Utime.Usec+ru.Stime.Usec)*1e3
+}
+
+// scenarioLoop runs n build-measure-defend iterations of an already warmed-up
+// scenario, recording the final Result for route-stat reporting.
+func scenarioLoop(s experiment.Scenario, last *experiment.Result) func(n int) error {
+	return func(n int) error {
+		for i := 0; i < n; i++ {
+			res, err := experiment.Run(s)
+			if err != nil {
+				return err
+			}
+			if !res.Activated {
+				return fmt.Errorf("defense never activated")
+			}
+			*last = res
+		}
+		return nil
+	}
+}
+
+// scenarioBench builds a benchmark that runs one scenario per iteration. One
+// untimed warm-up run precedes the measured loop so B/op and allocs/op
+// report the pooled steady state instead of a cold-start cost amortized over
+// an iteration count that varies run to run.
+func scenarioBench(build func() (experiment.Scenario, error), last *experiment.Result) func(b *testing.B) {
 	return func(b *testing.B) {
-		s := build(b)
+		s, err := build()
+		if err != nil {
+			b.Fatal(err)
+		}
 		if _, err := experiment.Run(s); err != nil {
 			b.Fatal(err)
 		}
 		b.ReportAllocs()
 		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			res, err := experiment.Run(s)
-			if err != nil {
-				b.Fatal(err)
-			}
-			if !res.Activated {
-				b.Fatal("defense never activated")
-			}
-			*last = res
+		if err := scenarioLoop(s, last)(b.N); err != nil {
+			b.Fatal(err)
 		}
-	}, last
+	}
+}
+
+// scenarioPrep mirrors scenarioBench's setup and warm-up and hands back the
+// bare measured loop for CPU-time sampling.
+func scenarioPrep(build func() (experiment.Scenario, error), last *experiment.Result) func() (func(n int) error, error) {
+	return func() (func(n int) error, error) {
+		s, err := build()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := experiment.Run(s); err != nil {
+			return nil, err
+		}
+		return scenarioLoop(s, last), nil
+	}
 }
 
 // registryQuick resolves a registered scenario's quick variant.
-func registryQuick(name string) func(b *testing.B) experiment.Scenario {
-	return func(b *testing.B) experiment.Scenario {
+func registryQuick(name string) func() (experiment.Scenario, error) {
+	return func() (experiment.Scenario, error) {
 		e, ok := experiment.LookupScenario(name)
 		if !ok {
-			b.Fatalf("%s scenario not registered", name)
+			return experiment.Scenario{}, fmt.Errorf("%s scenario not registered", name)
 		}
-		return experiment.Quick(e.Build())
+		return experiment.Quick(e.Build()), nil
 	}
 }
 
 // benchmarks enumerates every tracked benchmark by short name.
 var benchmarks = func() []benchEntry {
 	entries := []benchEntry{
-		newScenarioEntry("table2", func(*testing.B) experiment.Scenario { return benchScenario() }),
+		newScenarioEntry("table2", func() (experiment.Scenario, error) { return benchScenario(), nil }),
 		newScenarioEntry("stress-1k", registryQuick("stress-1k")),
 		newScenarioEntry("stress-5k", registryQuick("stress-5k")),
+		newScenarioEntry("stress-50k", registryQuick("stress-50k")),
 	}
 	for _, fig := range []struct {
 		name string
@@ -144,15 +204,37 @@ var benchmarks = func() []benchEntry {
 		{"ablation-probe", experiment.FigureAblationProbe},
 		{"ablation-pulsing", experiment.FigureAblationPulsing},
 	} {
-		entries = append(entries, benchEntry{name: fig.name, fn: figureBench(fig.id)})
+		entries = append(entries, benchEntry{name: fig.name, fn: figureBench(fig.id), prep: figurePrep(fig.id)})
 	}
 	return entries
 }()
 
-func newScenarioEntry(name string, build func(b *testing.B) experiment.Scenario) benchEntry {
-	fn, last := scenarioBench(build)
-	return benchEntry{name: name, fn: fn, lastRun: last}
+func newScenarioEntry(name string, build func() (experiment.Scenario, error)) benchEntry {
+	last := new(experiment.Result)
+	return benchEntry{
+		name:    name,
+		fn:      scenarioBench(build, last),
+		prep:    scenarioPrep(build, last),
+		lastRun: last,
+	}
 }
+
+// figureLoop runs n regenerations of one figure's sweep.
+func figureLoop(id experiment.FigureID) func(n int) error {
+	return func(n int) error {
+		for i := 0; i < n; i++ {
+			fig, err := experiment.Generate(id, benchOpts())
+			if err != nil {
+				return fmt.Errorf("figure %s: %w", id, err)
+			}
+			if len(fig.Series) == 0 {
+				return fmt.Errorf("figure %s produced no series", id)
+			}
+		}
+		return nil
+	}
+}
+
 func figureBench(id experiment.FigureID) func(b *testing.B) {
 	return func(b *testing.B) {
 		// Untimed warm-up, as in scenarioBench: measure pooled steady
@@ -162,25 +244,36 @@ func figureBench(id experiment.FigureID) func(b *testing.B) {
 		}
 		b.ReportAllocs()
 		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			fig, err := experiment.Generate(id, benchOpts())
-			if err != nil {
-				b.Fatalf("figure %s: %v", id, err)
-			}
-			if len(fig.Series) == 0 {
-				b.Fatalf("figure %s produced no series", id)
-			}
+		if err := figureLoop(id)(b.N); err != nil {
+			b.Fatal(err)
 		}
 	}
 }
 
+// figurePrep warms the figure sweep up and hands back the measured loop.
+func figurePrep(id experiment.FigureID) func() (func(n int) error, error) {
+	return func() (func(n int) error, error) {
+		if _, err := experiment.Generate(id, benchOpts()); err != nil {
+			return nil, fmt.Errorf("figure %s: %w", id, err)
+		}
+		return figureLoop(id), nil
+	}
+}
+
+// allocTolerance is the fixed gate for allocs/op and B/op: both are exactly
+// reproducible run to run (the engine's steady state is deterministic), so
+// they stay on the strict 10% gate regardless of the -tolerance flag, which
+// governs only the noisy wall-clock dimension.
+const allocTolerance = 0.10
+
 // compareAgainst checks the freshly measured report against a tracked
-// baseline and returns the number of regressions: benchmarks whose ns/op,
-// allocs/op or B/op exceed the baseline by more than tolerance (a fraction,
-// e.g. 0.10 for 10%). Benchmarks missing from the baseline (newly added) are
+// baseline and returns the number of regressions: benchmarks whose median
+// ns/op exceeds the baseline by more than nsTolerance (a fraction, e.g. 0.10
+// for 10%), or whose allocs/op or B/op exceed it by more than the fixed
+// allocTolerance. Benchmarks missing from the baseline (newly added) are
 // reported but never count as regressions; benchmarks present only in the
 // baseline are flagged so silent coverage loss is visible.
-func compareAgainst(baselinePath string, report BenchReport, tolerance float64) (int, error) {
+func compareAgainst(baselinePath string, report BenchReport, nsTolerance float64) (int, error) {
 	data, err := os.ReadFile(baselinePath)
 	if err != nil {
 		return 0, fmt.Errorf("read baseline: %w", err)
@@ -222,7 +315,7 @@ func compareAgainst(baselinePath string, report BenchReport, tolerance float64) 
 		allocDelta := ratioDelta(r.AllocsPerOp, b.AllocsPerOp)
 		bytesDelta := ratioDelta(r.BytesPerOp, b.BytesPerOp)
 		verdict := ""
-		if nsDelta > tolerance || allocDelta > tolerance || bytesDelta > tolerance {
+		if nsDelta > nsTolerance || allocDelta > allocTolerance || bytesDelta > allocTolerance {
 			verdict = "  REGRESSION"
 			regressions++
 		}
@@ -238,6 +331,17 @@ func compareAgainst(baselinePath string, report BenchReport, tolerance float64) 
 	return regressions, nil
 }
 
+// median returns the middle of the sorted samples (the mean of the middle
+// two for even counts). The input is sorted in place.
+func median(samples []float64) float64 {
+	sort.Float64s(samples)
+	n := len(samples)
+	if n%2 == 1 {
+		return samples[n/2]
+	}
+	return (samples[n/2-1] + samples[n/2]) / 2
+}
+
 // main defers to run so the profile writers run before the process exits
 // (os.Exit would skip them).
 func main() { os.Exit(run()) }
@@ -246,7 +350,8 @@ func run() int {
 	out := flag.String("out", "", "write the JSON report to this file instead of stdout")
 	only := flag.String("benchmarks", "", "comma-separated benchmark names to run (default: all)")
 	diff := flag.String("diff", "", "compare against this baseline JSON and exit non-zero on regression")
-	tolerance := flag.Float64("tolerance", 0.10, "with -diff: allowed fractional growth in ns/op, allocs/op or B/op")
+	tolerance := flag.Float64("tolerance", 0.10, "with -diff: allowed fractional growth in median ns/op (allocs/op and B/op always use the strict 10% gate)")
+	samples := flag.Int("samples", 3, "wall-clock samples per benchmark; the reported ns/op is their median")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark runs to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile of the benchmark runs to this file")
 	flag.Parse()
@@ -291,7 +396,7 @@ func run() int {
 	for _, name := range strings.Split(*only, ",") {
 		if name = strings.TrimSpace(name); name != "" {
 			if !known[name] {
-				fmt.Fprintf(os.Stderr, "maficbench: unknown benchmark %q (known: table2, stress-1k, stress-5k, fig3a..fig7, ablation-*)\n", name)
+				fmt.Fprintf(os.Stderr, "maficbench: unknown benchmark %q (known: table2, stress-1k, stress-5k, stress-50k, fig3a..fig7, ablation-*)\n", name)
 				return 2
 			}
 			selected[name] = true
@@ -309,11 +414,35 @@ func run() int {
 			continue
 		}
 		fmt.Fprintf(os.Stderr, "running %s...\n", bm.name)
+		n := *samples
+		if n < 1 {
+			n = 1
+		}
+		// One testing.Benchmark run supplies the deterministic counters
+		// (allocs/op, B/op) and calibrates the per-sample iteration count;
+		// the ns/op samples are then taken median-of-N over the bare
+		// measured loop timed with process CPU time, which host CPU-steal
+		// cannot inflate the way it inflates wall-clock.
 		r := testing.Benchmark(bm.fn)
+		loop, err := bm.prep()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "maficbench: %s: %v\n", bm.name, err)
+			return 1
+		}
+		nsSamples := make([]float64, 0, n)
+		for s := 0; s < n; s++ {
+			start := cpuTimeNs()
+			if err := loop(r.N); err != nil {
+				fmt.Fprintf(os.Stderr, "maficbench: %s: %v\n", bm.name, err)
+				return 1
+			}
+			nsSamples = append(nsSamples, (cpuTimeNs()-start)/float64(r.N))
+		}
 		res := BenchResult{
 			Name:        bm.name,
 			Iterations:  r.N,
-			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			NsPerOp:     median(nsSamples),
+			Samples:     n,
 			BytesPerOp:  r.AllocedBytesPerOp(),
 			AllocsPerOp: r.AllocsPerOp(),
 		}
@@ -346,11 +475,12 @@ func run() int {
 			return 1
 		}
 		if regressions > 0 {
-			fmt.Fprintf(os.Stderr, "maficbench: %d benchmark(s) regressed beyond %.0f%% vs %s\n",
-				regressions, *tolerance*100, *diff)
+			fmt.Fprintf(os.Stderr, "maficbench: %d benchmark(s) regressed vs %s (ns/op tolerance %.0f%%, allocs/B gate %.0f%%)\n",
+				regressions, *diff, *tolerance*100, allocTolerance*100)
 			return 1
 		}
-		fmt.Fprintf(os.Stderr, "maficbench: no regressions beyond %.0f%% vs %s\n", *tolerance*100, *diff)
+		fmt.Fprintf(os.Stderr, "maficbench: no regressions vs %s (ns/op tolerance %.0f%%, allocs/B gate %.0f%%)\n",
+			*diff, *tolerance*100, allocTolerance*100)
 	}
 	return 0
 }

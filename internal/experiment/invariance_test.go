@@ -4,9 +4,114 @@ import (
 	"reflect"
 	"testing"
 
+	"mafic/internal/netsim"
 	"mafic/internal/sim"
 	"mafic/internal/topology"
 )
+
+// oracleMaxRouters bounds the domain size used when an equivalence test must
+// run a quadratic oracle — eager all-pairs routing, dense adjacency rows, an
+// every-router monitor — against the default path. The oracles are O(nodes²)
+// by design (that is why they were replaced), so at stress-50k scale they
+// would need tens of gigabytes; capping the router count while preserving the
+// scenario's chord density keeps the comparison honest and laptop-sized.
+const oracleMaxRouters = 5000
+
+// oracleScale caps a quick scenario at oracleMaxRouters routers, scaling the
+// extra-chord count proportionally so path shapes stay representative.
+func oracleScale(s Scenario) Scenario {
+	if s.Topology.NumRouters <= oracleMaxRouters {
+		return s
+	}
+	s.Topology.ExtraChords = s.Topology.ExtraChords * oracleMaxRouters / s.Topology.NumRouters
+	s.Topology.NumRouters = oracleMaxRouters
+	return s
+}
+
+// TestAdjacencyModeInvariance runs every registered scenario (quick mode,
+// stress scenarios capped at the oracle scale) with the default sparse
+// adjacency rows and with the historical dense rows, under both routing
+// modes, and requires bit-identical results. This is the system-level
+// guarantee behind the sparse representation: both layouts answer LinkBetween
+// identically and iterate neighbours in the same ascending order, so BFS
+// tie-breaking — and therefore every forwarding decision, measurement and
+// verdict — cannot tell them apart, and no golden fixture moved when sparse
+// became the default.
+func TestAdjacencyModeInvariance(t *testing.T) {
+	for _, e := range Entries() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			for _, routing := range []struct {
+				name string
+				mode topology.RoutingMode
+			}{{"lazy", topology.RoutingLazy}, {"eager", topology.RoutingEager}} {
+				sparse := oracleScale(Quick(e.Build()))
+				sparse.Topology.Routing = routing.mode
+				dense := sparse
+				dense.Topology.Adjacency = netsim.AdjacencyDense
+
+				gotSparse, err := Run(sparse)
+				if err != nil {
+					t.Fatalf("%s sparse run: %v", routing.name, err)
+				}
+				gotDense, err := Run(dense)
+				if err != nil {
+					t.Fatalf("%s dense run: %v", routing.name, err)
+				}
+				if !reflect.DeepEqual(gotSparse, gotDense) {
+					t.Errorf("%s: sparse and dense adjacency runs diverge", routing.name)
+					if gotSparse.Counts != gotDense.Counts {
+						t.Errorf("counts: sparse %+v, dense %+v", gotSparse.Counts, gotDense.Counts)
+					}
+					if gotSparse.EventsProcessed != gotDense.EventsProcessed {
+						t.Errorf("events: sparse %d, dense %d", gotSparse.EventsProcessed, gotDense.EventsProcessed)
+					}
+					if gotSparse.Accuracy != gotDense.Accuracy {
+						t.Errorf("accuracy: sparse %v, dense %v", gotSparse.Accuracy, gotDense.Accuracy)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestMonitoredSetInvariance runs every registered scenario with the default
+// monitored-only traffic matrix and with the historical every-router monitor,
+// and requires bit-identical results: a counter on a router with no attached
+// host can never record a packet (see the trafficmatrix package comment), so
+// instrumenting only the host-adjacent routers changes nothing an epoch
+// report, the pushback coordinator, or any golden fixture can observe.
+func TestMonitoredSetInvariance(t *testing.T) {
+	for _, e := range Entries() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			monitored := oracleScale(Quick(e.Build()))
+			all := monitored
+			all.Monitor.MonitorAll = true
+
+			gotMonitored, err := Run(monitored)
+			if err != nil {
+				t.Fatalf("monitored run: %v", err)
+			}
+			gotAll, err := Run(all)
+			if err != nil {
+				t.Fatalf("monitor-all run: %v", err)
+			}
+			if !reflect.DeepEqual(gotMonitored, gotAll) {
+				t.Errorf("monitored-only and every-router runs diverge")
+				if gotMonitored.Counts != gotAll.Counts {
+					t.Errorf("counts: monitored %+v, all %+v", gotMonitored.Counts, gotAll.Counts)
+				}
+				if gotMonitored.EventsProcessed != gotAll.EventsProcessed {
+					t.Errorf("events: monitored %d, all %d", gotMonitored.EventsProcessed, gotAll.EventsProcessed)
+				}
+				if gotMonitored.Accuracy != gotAll.Accuracy {
+					t.Errorf("accuracy: monitored %v, all %v", gotMonitored.Accuracy, gotAll.Accuracy)
+				}
+			}
+		})
+	}
+}
 
 // TestSchedulerBackendInvariance runs every registered scenario (quick mode,
 // stress-1k included) on the default calendar-queue scheduler and on the

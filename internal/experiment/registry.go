@@ -254,6 +254,22 @@ func init() {
 			s.Workload.ExtraVictimShare = 0.3
 		}))
 
+	MustRegister(builtin("stress-50k",
+		"scale proof: 50000-router ring with 15000 chords, 40 ingress routers, three simultaneous victims — sparse adjacency rows and the monitored-only traffic matrix keep per-router state O(nodes+links), where the dense adjacency alone would need ~20 GB and the monitor would rotate 200k sketches per epoch",
+		func(s *Scenario) {
+			s.Topology.NumRouters = 50000
+			s.Topology.NumIngress = 40
+			// Chord density matches stress-1k/5k (0.3 chords per router):
+			// shortest paths stay bounded while the domain is 1250x the
+			// paper's.
+			s.Topology.ExtraChords = 15000
+			s.Topology.BystanderHosts = 32
+			s.Topology.ExtraVictims = 2
+			s.Workload.TotalFlows = 80
+			s.Workload.TCPShare = 0.80
+			s.Workload.ExtraVictimShare = 0.3
+		}))
+
 	MustRegister(builtin("stress-1k",
 		"scale proof: 1000-router ring with 300 chords, 40 ingress routers, three simultaneous victims — exercises the topology arena and zero-alloc epoch pipeline at 25x the paper's domain size",
 		func(s *Scenario) {

@@ -28,8 +28,11 @@ func TestRoutingModeEquivalence(t *testing.T) {
 		e := e
 		t.Run(e.Name, func(t *testing.T) {
 			t.Parallel()
-			lazy := Quick(e.Build())
-			eager := Quick(e.Build())
+			// The eager oracle resides O(routers × nodes) entries, so
+			// stress scenarios are capped at the oracle scale (stress-50k
+			// would need ~20 GB of route rows).
+			lazy := oracleScale(Quick(e.Build()))
+			eager := lazy
 			eager.Topology.Routing = topology.RoutingEager
 
 			gotLazy, err := Run(lazy)

@@ -1,0 +1,52 @@
+// Package netsim models the packet-level network substrate the MAFIC
+// evaluation runs on: addresses, packets, simplex links with drop-tail
+// queues, routers with attachable per-packet filters (the role NS-2
+// Connectors play in the original paper), and end hosts.
+//
+// # Packet ownership and pooling
+//
+// Packets obtained from Network.NewPacket are pooled: the network recycles
+// them once they reach a terminal point — delivery to a host, a queue or
+// filter drop, or an unroutable destination. Ownership transfers to the
+// network the moment a packet is handed to Host.Send, Network.SendFrom,
+// Router.Inject, Link.Send or a Deliver method; after that the producer must
+// not touch it again. Observation hooks (Hooks, Filter.Handle, PacketHandler)
+// may read a packet only for the duration of the callback and must not retain
+// the pointer — the slot is reused for a future packet as soon as the
+// callback returns. Packets built directly with &Packet{} are never pooled
+// and remain valid indefinitely; releasing one is a no-op.
+//
+// # Adjacency representation
+//
+// The node/link graph answers two per-hop questions on the forwarding fast
+// path: LinkBetween (is there a direct link from a to b, and which one) and
+// AppendNeighbors (a's neighbours in ascending ID order, the order BFS route
+// computation depends on). Two interchangeable representations back them:
+//
+//   - AdjacencySparse (the default): one sorted row of (neighbour, link)
+//     entries per node, carved from a shared slab. LinkBetween is a binary
+//     search over the row — simulated degrees are single digits, so the
+//     search is two or three probes — and total adjacency state is
+//     O(nodes + links). A 50000-router domain's adjacency fits in a few
+//     megabytes.
+//   - AdjacencyDense: the historical full row per node, NodeID-indexed, so
+//     LinkBetween is one bounds-checked load. O(nodes²) pointers: ~20 GB at
+//     50000 routers, which is why it is no longer the default. It is kept,
+//     behind Network.SetAdjacencyMode and topology.Config.Adjacency, as the
+//     ordering-and-result oracle — exactly as sim.BackendHeap and
+//     topology.RoutingEager are kept for the scheduler and routing layers.
+//
+// Both representations iterate neighbours in the same ascending order, so
+// BFS tie-breaking — and therefore every simulation result — is bit-identical
+// between them; the catalog-wide equivalence tests in internal/experiment
+// pin that. The mode must be chosen before the first link is connected: rows
+// are not converted in place.
+//
+// # Reservation and slab carving
+//
+// Reserve(nodes) sizes the internal spines and slabs for a known domain size
+// so construction is O(1) allocations per chunk instead of per node. The
+// reservation is a hint, not a cap: nodes added past it stay correct and keep
+// carving from the slabs — row widths are validated against the live node
+// count (see denseRowWidth), never against the stale hint alone.
+package netsim

@@ -11,6 +11,11 @@ import (
 // the traffic they expect to receive.
 type PacketHandler func(pkt *Packet, now sim.Time)
 
+// maxHostHomes bounds the attachment links recorded inline on a Host. Hosts
+// are single-homed except the optionally multi-homed victim (two homes);
+// anything past the bound falls back to the adjacency search.
+const maxHostHomes = 4
+
 // Host is an end system: a traffic source (client or zombie) or sink (the
 // victim server). Hosts attach to exactly one access router.
 type Host struct {
@@ -20,6 +25,17 @@ type Host struct {
 	ips  []IP
 
 	accessRouter NodeID
+
+	// homeRouters/homeLinks record every router holding a direct link *to*
+	// this host — the final-hop links forwarding needs — filled by Connect.
+	// Keeping them inline on the host makes "is this destination attached
+	// to me?" an O(homes) scan of one or two entries instead of a per-hop
+	// adjacency search that misses everywhere but the last router.
+	// homeCount may exceed maxHostHomes; the surplus entries are not
+	// recorded and Network.AttachmentLink falls back to the full search.
+	homeRouters [maxHostHomes]NodeID
+	homeLinks   [maxHostHomes]*Link
+	homeCount   int
 
 	// nHandlers counts the labels registered for this host in the
 	// network's shared handler registry; zero lets pure-sink hosts skip
@@ -66,6 +82,17 @@ func (h *Host) AttachTo(router NodeID) { h.accessRouter = router }
 
 // AccessRouter reports the router the host is attached to.
 func (h *Host) AccessRouter() NodeID { return h.accessRouter }
+
+// noteHome records a router→host attachment link as it is connected.
+func (h *Host) noteHome(router NodeID, l *Link) {
+	if h.homeCount < maxHostHomes {
+		h.homeRouters[h.homeCount] = router
+		h.homeLinks[h.homeCount] = l
+	}
+	// Count past the bound when overflowing so AttachmentLink knows the
+	// inline record is incomplete.
+	h.homeCount++
+}
 
 // Register installs a handler for packets carrying the given label.
 // Handlers live in a network-wide registry keyed by (host, label), so

@@ -43,6 +43,48 @@ type nodeSlot struct {
 	host   *Host
 }
 
+// AdjacencyMode selects how the network stores its adjacency (link) state.
+type AdjacencyMode int
+
+// Adjacency modes.
+const (
+	// AdjacencySparse (the default) stores each node's outgoing links as a
+	// neighbour list sorted by target ID: O(nodes + links) memory overall,
+	// with per-hop lookups a short binary search over a row whose length is
+	// the node's degree (2–10 in the generated domains). It is what makes
+	// 50k-router domains tractable: the dense layout's rows alone would be
+	// ~20 GB there.
+	AdjacencySparse AdjacencyMode = iota
+	// AdjacencyDense keeps the historical representation — one node-count
+	// wide row per node, lookup by direct index — as the ordering-and-result
+	// oracle, exactly as sim.BackendHeap and topology.RoutingEager were
+	// kept. Both modes yield bit-identical simulations; the invariance tests
+	// pin that.
+	AdjacencyDense
+)
+
+// String implements fmt.Stringer.
+func (m AdjacencyMode) String() string {
+	switch m {
+	case AdjacencySparse:
+		return "sparse"
+	case AdjacencyDense:
+		return "dense"
+	default:
+		return "unknown"
+	}
+}
+
+// adjEntry is one outgoing link in a sparse adjacency row, keyed by its
+// target node. Rows are kept sorted by target so lookups binary-search and
+// neighbour iteration is ascending — the same order the dense rows yield,
+// which is what keeps BFS tie-breaking (and therefore every forwarding
+// decision) identical across modes.
+type adjEntry struct {
+	to   NodeID
+	link *Link
+}
+
 // Network owns every simulated node and link and bridges them to the
 // discrete-event scheduler.
 type Network struct {
@@ -54,10 +96,19 @@ type Network struct {
 	// nodes is the dense NodeID-indexed dispatch table used on the
 	// forwarding path instead of the registry maps above.
 	nodes []nodeSlot
-	// adj[from][to] is the simplex link from->to, or nil. Rows are dense
-	// NodeID-indexed slices grown on demand; a short or nil row means no
-	// outgoing links from that node yet.
+	// adjMode selects the adjacency representation below; exactly one of
+	// the two tables is populated. See SetAdjacencyMode.
+	adjMode AdjacencyMode
+	// sparse[from] is the sorted-by-target neighbour list holding from's
+	// outgoing links (AdjacencySparse, the default). A nil or short spine
+	// entry means no outgoing links from that node yet.
+	sparse [][]adjEntry
+	// adj[from][to] is the simplex link from->to, or nil (AdjacencyDense).
+	// Rows are node-count-wide NodeID-indexed slices grown on demand.
 	adj     [][]*Link
+	// links counts Connect calls; the adjacency mode is frozen once the
+	// first link exists.
+	links   int
 	ipOwner map[IP]NodeID
 
 	nextNodeID NodeID
@@ -82,12 +133,20 @@ type Network struct {
 	linkSlab   []Link
 	linkUsed   int
 
-	// Dense-row slabs: adjacency rows and per-router route tables are
-	// sizeHint-wide arrays, carved from multi-row chunks so reserved
-	// domain construction costs O(rows/denseRowChunk) allocations for
-	// them instead of one each.
+	// Dense-row slabs: dense-mode adjacency rows and per-router route
+	// tables are carved from multi-row chunks so reserved domain
+	// construction costs O(rows/denseRowChunk) allocations for them
+	// instead of one each. Row widths are validated against the actual
+	// node count at carve time (see denseRowWidth), never trusted to a
+	// possibly stale sizeHint.
 	adjSlab   []*Link
 	routeSlab []NodeID
+
+	// adjEntrySlab backs the sparse adjacency rows: rows are carved with a
+	// few entries of headroom and re-carved at doubled capacity when a
+	// node's degree outgrows them, so sparse domain construction costs
+	// O(links/adjEntryChunk) allocations for adjacency storage.
+	adjEntrySlab []adjEntry
 
 	// filterSlab backs the routers' filter chains; chains are tiny (tap
 	// plus at most one defence), so carving them avoids a per-router
@@ -132,6 +191,14 @@ const (
 	denseRowChunk = 64
 	filterChunk   = 64
 	ipChunk       = 64
+	// sparseRowCap is the initial capacity of a sparse adjacency row. Core
+	// routers in the generated domains have degree 2 (ring) plus a chord or
+	// two, so most rows never re-carve.
+	sparseRowCap = 4
+	// adjEntryChunk caps the sparse-slab chunk size in entries. Chunks are
+	// sized proportionally to the domain (see adjEntrySlabSize), so small
+	// networks never pay for a full chunk they will not fill.
+	adjEntryChunk = 4096
 )
 
 // nodeSlabSize picks the chunk size for a node slab: at least nodeChunk, at
@@ -179,27 +246,90 @@ func (n *Network) linkSlot() *Link {
 	return l
 }
 
-// carveAdjRow carves one sizeHint-wide adjacency row from the slab.
-func (n *Network) carveAdjRow() []*Link {
-	if len(n.adjSlab) < n.sizeHint {
-		n.adjSlab = make([]*Link, denseRowChunk*n.sizeHint)
+// denseRowWidth validates-and-grows the width of a dense per-node row: the
+// Reserve hint when it is still accurate, but never narrower than the actual
+// node count or the slot the caller is about to index. Rows used to be sized
+// at n.sizeHint unconditionally, which made every caller responsible for
+// compensating when nodes were added past the Reserve budget (or with
+// Reserve never called, where sizeHint is 0) — get it wrong and a row comes
+// out narrower than the final node count, silently missing links or routes
+// for high NodeIDs. Centralizing the floor here makes stale hints harmless.
+func (n *Network) denseRowWidth(need int) int {
+	w := n.sizeHint
+	if nc := len(n.nodes); nc > w {
+		w = nc
 	}
-	row := n.adjSlab[:n.sizeHint:n.sizeHint]
-	n.adjSlab = n.adjSlab[n.sizeHint:]
+	if need > w {
+		w = need
+	}
+	return w
+}
+
+// carveAdjRow carves one dense adjacency row covering at least need slots
+// from the slab.
+func (n *Network) carveAdjRow(need int) []*Link {
+	w := n.denseRowWidth(need)
+	if len(n.adjSlab) < w {
+		n.adjSlab = make([]*Link, denseRowChunk*w)
+	}
+	row := n.adjSlab[:w:w]
+	n.adjSlab = n.adjSlab[w:]
 	return row
 }
 
-// carveRouteRow carves one sizeHint-wide route table, filled with NoNode.
-func (n *Network) carveRouteRow() []NodeID {
-	if len(n.routeSlab) < n.sizeHint {
-		n.routeSlab = make([]NodeID, denseRowChunk*n.sizeHint)
+// carveRouteRow carves one dense route table covering at least need slots,
+// filled with NoNode.
+func (n *Network) carveRouteRow(need int) []NodeID {
+	w := n.denseRowWidth(need)
+	if len(n.routeSlab) < w {
+		n.routeSlab = make([]NodeID, denseRowChunk*w)
 	}
-	row := n.routeSlab[:n.sizeHint:n.sizeHint]
-	n.routeSlab = n.routeSlab[n.sizeHint:]
+	row := n.routeSlab[:w:w]
+	n.routeSlab = n.routeSlab[w:]
 	for i := range row {
 		row[i] = NoNode
 	}
 	return row
+}
+
+// adjEntrySlabSize picks the chunk size for the sparse-entry slab: roughly
+// one initial row per expected node, so small domains allocate a chunk they
+// actually fill, capped at adjEntryChunk so huge domains amortize in
+// fixed-size chunks, and never smaller than the row being carved.
+func (n *Network) adjEntrySlabSize(capWant int) int {
+	size := sparseRowCap * n.denseRowWidth(0)
+	if size > adjEntryChunk {
+		size = adjEntryChunk
+	}
+	if size < capWant {
+		size = capWant
+	}
+	return size
+}
+
+// carveAdjEntries carves a zero-length sparse row with the given capacity.
+func (n *Network) carveAdjEntries(capWant int) []adjEntry {
+	if len(n.adjEntrySlab) < capWant {
+		n.adjEntrySlab = make([]adjEntry, n.adjEntrySlabSize(capWant))
+	}
+	row := n.adjEntrySlab[:0:capWant]
+	n.adjEntrySlab = n.adjEntrySlab[capWant:]
+	return row
+}
+
+// sparseFind returns the position of target to in the sorted row, or the
+// position it would be inserted at (the lower bound).
+func sparseFind(row []adjEntry, to NodeID) int {
+	lo, hi := 0, len(row)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if row[mid].to < to {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
 }
 
 // growFilters returns a filter slice with room for two more entries, carved
@@ -338,11 +468,49 @@ func (n *Network) allocateNodeID() NodeID {
 	return id
 }
 
+// SetAdjacencyMode selects the adjacency representation. It must be called
+// before any link is added — the tables are not converted in place — and is
+// typically the first call after New. The zero-value default is
+// AdjacencySparse; AdjacencyDense retains the historical layout as the
+// equivalence oracle.
+func (n *Network) SetAdjacencyMode(m AdjacencyMode) error {
+	if m != AdjacencySparse && m != AdjacencyDense {
+		return fmt.Errorf("netsim: unknown adjacency mode %d", m)
+	}
+	if n.links > 0 {
+		return errors.New("netsim: adjacency mode must be selected before links are added")
+	}
+	n.adjMode = m
+	n.reserveAdjSpine(n.sizeHint)
+	return nil
+}
+
+// AdjacencyMode reports the active adjacency representation.
+func (n *Network) AdjacencyMode() AdjacencyMode { return n.adjMode }
+
+// reserveAdjSpine pre-sizes the active mode's adjacency spine.
+func (n *Network) reserveAdjSpine(nodes int) {
+	if n.adjMode == AdjacencySparse {
+		if cap(n.sparse) < nodes {
+			grown := make([][]adjEntry, len(n.sparse), nodes)
+			copy(grown, n.sparse)
+			n.sparse = grown
+		}
+		return
+	}
+	if cap(n.adj) < nodes {
+		grown := make([][]*Link, len(n.adj), nodes)
+		copy(grown, n.adj)
+		n.adj = grown
+	}
+}
+
 // Reserve pre-sizes the node and adjacency tables for a domain of the given
 // node count. Topology builders that know their final size call it once so
 // the dense per-node tables are allocated at full size up front instead of
 // growing piecemeal. Reserving is purely an optimisation; the network works
-// identically without it.
+// identically without it — in particular, nodes added past the reserved
+// budget still get full-width rows (see denseRowWidth).
 func (n *Network) Reserve(nodes int) {
 	if nodes <= len(n.nodes) {
 		return
@@ -350,13 +518,15 @@ func (n *Network) Reserve(nodes int) {
 	grownNodes := make([]nodeSlot, len(n.nodes), nodes)
 	copy(grownNodes, n.nodes)
 	n.nodes = grownNodes
-	grownAdj := make([][]*Link, len(n.adj), nodes)
-	copy(grownAdj, n.adj)
-	n.adj = grownAdj
-	grownCols := make([][]NodeID, nodes)
-	copy(grownCols, n.routeCols)
-	n.routeCols = grownCols
-	n.sizeHint = nodes
+	if nodes > n.sizeHint {
+		n.sizeHint = nodes
+	}
+	n.reserveAdjSpine(nodes)
+	if nodes > len(n.routeCols) {
+		grownCols := make([][]NodeID, nodes)
+		copy(grownCols, n.routeCols)
+		n.routeCols = grownCols
+	}
 }
 
 // AddRouter creates a router with the given human-readable name. Its static
@@ -452,34 +622,62 @@ func (n *Network) Connect(from, to NodeID, cfg LinkConfig) (*Link, error) {
 	n.topoVersion++
 	l := n.linkSlot()
 	*l = Link{net: n, from: from, to: to, cfg: cfg}
+	n.links++
+	if n.adjMode == AdjacencySparse {
+		n.sparseInsert(from, to, l)
+	} else {
+		n.denseInsert(from, to, l)
+	}
+	if h := n.nodes[to].host; h != nil {
+		h.noteHome(from, l)
+	}
+	return l, nil
+}
+
+// sparseInsert places l into from's sorted neighbour row, re-carving the row
+// at doubled capacity when its degree outgrows the current segment.
+func (n *Network) sparseInsert(from, to NodeID, l *Link) {
+	for int(from) >= len(n.sparse) {
+		n.sparse = append(n.sparse, nil)
+	}
+	row := n.sparse[from]
+	i := sparseFind(row, to)
+	// Connect rejected duplicates already, so the slot at i is either past
+	// the end or holds a larger target.
+	if len(row) == cap(row) {
+		capWant := sparseRowCap
+		if c := 2 * cap(row); c > capWant {
+			capWant = c
+		}
+		grown := n.carveAdjEntries(capWant)[:len(row)+1]
+		copy(grown, row[:i])
+		copy(grown[i+1:], row[i:])
+		grown[i] = adjEntry{to: to, link: l}
+		n.sparse[from] = grown
+		return
+	}
+	row = row[:len(row)+1]
+	copy(row[i+1:], row[i:])
+	row[i] = adjEntry{to: to, link: l}
+	n.sparse[from] = row
+}
+
+// denseInsert places l into from's dense row, growing the row once to the
+// validated width (never narrower than the node count) rather than element
+// by element. All rows come from the row slab, including rows grown for
+// nodes added past the Reserve budget.
+func (n *Network) denseInsert(from, to NodeID, l *Link) {
 	for int(from) >= len(n.adj) {
 		n.adj = append(n.adj, nil)
 	}
 	row := n.adj[from]
 	if int(to) >= len(row) {
-		// Grow the row once to the reserved domain size (or the current
-		// node count) rather than element by element. Reserved-size rows
-		// come from the row slab; only rows beyond the reservation (or on
-		// unreserved networks) are allocated individually.
-		want := int(to) + 1
-		if n.sizeHint > want {
-			want = n.sizeHint
-		}
-		if nc := len(n.nodes); nc > want {
-			want = nc
-		}
-		var grown []*Link
-		if want == n.sizeHint {
-			grown = n.carveAdjRow()
-		} else {
-			grown = make([]*Link, want)
-		}
+		grown := n.carveAdjRow(int(to) + 1)
 		copy(grown, row)
 		row = grown
 	}
 	row[to] = l
 	n.adj[from] = row
-	return l, nil
 }
 
 // ConnectDuplex adds two simplex links (a->b and b->a) with the same
@@ -494,10 +692,46 @@ func (n *Network) ConnectDuplex(a, b NodeID, cfg LinkConfig) error {
 	return nil
 }
 
-// LinkBetween returns the simplex link from a to b, or nil. The lookup is a
-// pair of bounds-checked slice indexes: this sits on the per-hop forwarding
-// path.
+// AttachmentLink returns the direct link from node r to the host with ID h,
+// or nil. It answers the per-hop forwarding question "is this packet's
+// destination attached to me?" from the attachment record Connect keeps on
+// each host — an O(homes) scan of one or two inline entries — instead of an
+// adjacency search that misses at every hop but the last. The answer is
+// exactly LinkBetween(r, h) whenever h is a host; non-host IDs (which no
+// destination owner ever is) fall back to the search.
+func (n *Network) AttachmentLink(r, h NodeID) *Link {
+	if h < 0 || int(h) >= len(n.nodes) {
+		return nil
+	}
+	host := n.nodes[h].host
+	if host == nil || host.homeCount > maxHostHomes {
+		// Not a host, or a pathologically many-homed one whose inline
+		// record overflowed: preserve the adjacency answer.
+		return n.LinkBetween(r, h)
+	}
+	for i := 0; i < host.homeCount; i++ {
+		if host.homeRouters[i] == r {
+			return host.homeLinks[i]
+		}
+	}
+	return nil
+}
+
+// LinkBetween returns the simplex link from a to b, or nil. This sits on the
+// per-hop forwarding path: sparse mode binary-searches a's neighbour row (a
+// handful of entries in the generated domains), dense mode is a pair of
+// bounds-checked slice indexes. Neither allocates.
 func (n *Network) LinkBetween(a, b NodeID) *Link {
+	if n.adjMode == AdjacencySparse {
+		if a < 0 || int(a) >= len(n.sparse) {
+			return nil
+		}
+		row := n.sparse[a]
+		if i := sparseFind(row, b); i < len(row) && row[i].to == b {
+			return row[i].link
+		}
+		return nil
+	}
 	if a < 0 || int(a) >= len(n.adj) {
 		return nil
 	}
@@ -518,6 +752,15 @@ func (n *Network) Neighbors(id NodeID) []NodeID {
 // extended slice. Passing a reused buffer makes adjacency iteration
 // allocation-free; route computation over large domains depends on this.
 func (n *Network) AppendNeighbors(dst []NodeID, id NodeID) []NodeID {
+	if n.adjMode == AdjacencySparse {
+		if id < 0 || int(id) >= len(n.sparse) {
+			return dst
+		}
+		for _, e := range n.sparse[id] {
+			dst = append(dst, e.to)
+		}
+		return dst
+	}
 	if id < 0 || int(id) >= len(n.adj) {
 		return dst
 	}

@@ -1,20 +1,3 @@
-// Package netsim models the packet-level network substrate the MAFIC
-// evaluation runs on: addresses, packets, simplex links with drop-tail
-// queues, routers with attachable per-packet filters (the role NS-2
-// Connectors play in the original paper), and end hosts.
-//
-// # Packet ownership and pooling
-//
-// Packets obtained from Network.NewPacket are pooled: the network recycles
-// them once they reach a terminal point — delivery to a host, a queue or
-// filter drop, or an unroutable destination. Ownership transfers to the
-// network the moment a packet is handed to Host.Send, Network.SendFrom,
-// Router.Inject, Link.Send or a Deliver method; after that the producer must
-// not touch it again. Observation hooks (Hooks, Filter.Handle, PacketHandler)
-// may read a packet only for the duration of the callback and must not retain
-// the pointer — the slot is reused for a future packet as soon as the
-// callback returns. Packets built directly with &Packet{} are never pooled
-// and remain valid indefinitely; releasing one is a no-op.
 package netsim
 
 import (

@@ -82,23 +82,13 @@ func (r *Router) SetRoute(dest, nextHop NodeID) {
 	r.routes[dest] = nextHop
 }
 
-// growRoutes extends the dense table to at least n entries, using the
-// network's node count as a floor so a route sweep over the whole domain
-// grows the table once instead of doubling repeatedly. Reserved networks
-// carve the row from the shared dense-row slab.
+// growRoutes extends the dense table to at least n entries. The row is
+// carved from the shared dense-row slab at a width the network validates
+// against its actual node count (see denseRowWidth), so a route sweep over
+// the whole domain grows the table once — including on routers added past
+// the Reserve budget, which used to fall back to one heap allocation each.
 func (r *Router) growRoutes(n int) {
-	if hint := len(r.net.nodes); hint > n {
-		n = hint
-	}
-	var grown []NodeID
-	if n <= r.net.sizeHint {
-		grown = r.net.carveRouteRow() // sizeHint wide, pre-filled with NoNode
-	} else {
-		grown = make([]NodeID, n)
-		for i := len(r.routes); i < n; i++ {
-			grown[i] = NoNode
-		}
-	}
+	grown := r.net.carveRouteRow(n) // pre-filled with NoNode
 	copy(grown, r.routes)
 	r.routes = grown
 }
@@ -181,7 +171,7 @@ func (r *Router) route(pkt *Packet) {
 		r.net.dropUnroutable(pkt, r.id)
 		return
 	}
-	link := r.net.LinkBetween(r.id, destNode)
+	link := r.net.AttachmentLink(r.id, destNode)
 	if link == nil {
 		// A static entry (SetRoute / eager install) wins; otherwise fall
 		// through to the network's demand-driven column table. Under lazy

@@ -124,7 +124,17 @@ func (n *Network) aggregateOf(dest NodeID) NodeID {
 		return dest
 	}
 	agg := NoNode
-	if int(dest) < len(n.adj) {
+	if n.adjMode == AdjacencySparse {
+		if int(dest) < len(n.sparse) {
+			row := n.sparse[dest]
+			if len(row) > 1 {
+				return dest // multi-homed: own column
+			}
+			if len(row) == 1 {
+				agg = row[0].to
+			}
+		}
+	} else if int(dest) < len(n.adj) {
 		for to, l := range n.adj[dest] {
 			if l == nil {
 				continue

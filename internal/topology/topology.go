@@ -146,6 +146,11 @@ type Config struct {
 	// O(routers × nodes) build time and memory for never running a BFS
 	// after the build.
 	Routing RoutingMode
+	// Adjacency selects the network's link-table representation:
+	// netsim.AdjacencySparse (the default, O(nodes+links)) or
+	// netsim.AdjacencyDense (the historical O(nodes²) rows, kept as the
+	// equivalence oracle). Simulation results are bit-identical either way.
+	Adjacency netsim.AdjacencyMode
 
 	// CoreLink, AccessLink and VictimLink configure the three classes of
 	// links in the domain.
@@ -196,6 +201,9 @@ func (c Config) Validate() error {
 	}
 	if c.Routing != RoutingLazy && c.Routing != RoutingEager {
 		return fmt.Errorf("%w: unknown routing mode %d", ErrConfig, c.Routing)
+	}
+	if c.Adjacency != netsim.AdjacencySparse && c.Adjacency != netsim.AdjacencyDense {
+		return fmt.Errorf("%w: unknown adjacency mode %d", ErrConfig, c.Adjacency)
 	}
 	if c.ClientsPerIngress < 0 || c.ZombiesPerIngress < 0 || c.BystanderHosts < 0 {
 		return fmt.Errorf("%w: negative host counts", ErrConfig)
@@ -357,9 +365,16 @@ func (a *Arena) Build(cfg Config, sched *sim.Scheduler, rng *sim.RNG) (*Domain, 
 	}
 
 	net := netsim.New(sched, rng)
+	// The adjacency representation must be picked before any link exists;
+	// sparse is the netsim default, so only the dense oracle needs a call.
+	if cfg.Adjacency != netsim.AdjacencySparse {
+		if err := net.SetAdjacencyMode(cfg.Adjacency); err != nil {
+			return nil, err
+		}
+	}
 	// The final node population is known up front; reserving it lets the
-	// network allocate its dense per-node tables (dispatch, adjacency rows,
-	// route tables) exactly once.
+	// network allocate its per-node tables (dispatch, adjacency spine,
+	// route columns) exactly once.
 	net.Reserve(cfg.nodeBudget(numIngress))
 	d := &Domain{Net: net}
 	a.recycle(d)

@@ -1,0 +1,308 @@
+package trafficmatrix
+
+import (
+	"testing"
+
+	"mafic/internal/netsim"
+	"mafic/internal/sim"
+	"mafic/internal/topology"
+)
+
+// hostAdjacentRouters computes the expected automatic monitored set the slow
+// way, straight from the topology.
+func hostAdjacentRouters(net *netsim.Network) map[netsim.NodeID]bool {
+	set := make(map[netsim.NodeID]bool)
+	for hid := range net.Hosts() {
+		for _, nb := range net.Neighbors(hid) {
+			if _, ok := net.Routers()[nb]; ok {
+				set[nb] = true
+			}
+		}
+	}
+	return set
+}
+
+// TestMonitoredSetDefault pins the automatic monitored set: exactly the
+// host-adjacent routers, ascending, strictly fewer than the full router set
+// on a transit-stub topology (core routers carry no hosts).
+func TestMonitoredSetDefault(t *testing.T) {
+	d := smallDomain(t)
+	mon, err := NewMonitor(d.Net, MonitorConfig{Epoch: 100 * sim.Millisecond}, nil)
+	if err != nil {
+		t.Fatalf("NewMonitor: %v", err)
+	}
+	want := hostAdjacentRouters(d.Net)
+	if len(mon.routerIDs) != len(want) {
+		t.Fatalf("monitored %d routers %v, want the %d host-adjacent ones", len(mon.routerIDs), mon.routerIDs, len(want))
+	}
+	for i, id := range mon.routerIDs {
+		if !want[id] {
+			t.Fatalf("router %d monitored but has no attached host", id)
+		}
+		if i > 0 && id <= mon.routerIDs[i-1] {
+			t.Fatalf("monitored set not strictly ascending: %v", mon.routerIDs)
+		}
+	}
+	if len(want) >= len(d.Net.Routers()) {
+		t.Fatalf("test topology has no host-free routers (monitored %d of %d)", len(want), len(d.Net.Routers()))
+	}
+	for id := range d.Net.Routers() {
+		c := mon.Counter(id)
+		if want[id] && c == nil {
+			t.Fatalf("host-adjacent router %d has no counter", id)
+		}
+		if !want[id] && c != nil {
+			t.Fatalf("host-free router %d has a counter", id)
+		}
+	}
+}
+
+// TestMonitoredSetExplicitAndErrors pins the explicit-set plumbing: the list
+// is sorted and deduplicated, non-router IDs are rejected, and MonitorAll
+// conflicts with an explicit set.
+func TestMonitoredSetExplicitAndErrors(t *testing.T) {
+	d := smallDomain(t)
+	ing := d.Ingress[0].ID()
+	last := d.LastHop.ID()
+
+	mon, err := NewMonitor(d.Net, MonitorConfig{Monitored: []netsim.NodeID{last, ing, last}}, nil)
+	if err != nil {
+		t.Fatalf("explicit set: %v", err)
+	}
+	wantIDs := []netsim.NodeID{ing, last}
+	if last < ing {
+		wantIDs = []netsim.NodeID{last, ing}
+	}
+	if len(mon.routerIDs) != 2 || mon.routerIDs[0] != wantIDs[0] || mon.routerIDs[1] != wantIDs[1] {
+		t.Fatalf("explicit set = %v, want sorted dedup %v", mon.routerIDs, wantIDs)
+	}
+	if mon.Counter(d.Ingress[1].ID()) != nil {
+		t.Fatal("router outside the explicit set has a counter")
+	}
+	mon.Release()
+
+	hostID := d.Clients[0].ID()
+	if _, err := NewMonitor(d.Net, MonitorConfig{Monitored: []netsim.NodeID{hostID}}, nil); err == nil {
+		t.Fatal("host ID accepted as a monitored router")
+	}
+	bad := MonitorConfig{MonitorAll: true, Monitored: []netsim.NodeID{ing}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("Validate accepted MonitorAll plus an explicit set")
+	}
+	if _, err := NewMonitor(d.Net, bad, nil); err == nil {
+		t.Fatal("NewMonitor accepted MonitorAll plus an explicit set")
+	}
+	if err := (MonitorConfig{Monitored: []netsim.NodeID{-3}}).Validate(); err == nil {
+		t.Fatal("Validate accepted a negative monitored ID")
+	}
+}
+
+// TestMonitoredReportsMatchMonitorAll is the observational-equivalence pin
+// behind the monitored-only default: the same workload on two identical
+// domains, one monitored automatically and one with a counter on every
+// router, produces bit-identical epoch reports (estimates and matrix cells);
+// the every-router run's extra rows are all zero.
+func TestMonitoredReportsMatchMonitorAll(t *testing.T) {
+	run := func(all bool) []EpochReport {
+		d := smallDomain(t)
+		d.Victim.SetDefaultHandler(func(*netsim.Packet, sim.Time) {})
+		var reports []EpochReport
+		mon, err := NewMonitor(d.Net, MonitorConfig{Epoch: 100 * sim.Millisecond, MonitorAll: all},
+			func(r EpochReport) { reports = append(reports, r.Clone()) })
+		if err != nil {
+			t.Fatalf("NewMonitor(all=%v): %v", all, err)
+		}
+		mon.Start()
+		floodFrom(d, d.Clients[0], 400, 250*sim.Millisecond)
+		floodFrom(d, d.Zombies[0], 300, 250*sim.Millisecond)
+		if err := d.Net.Scheduler().RunUntil(400 * sim.Millisecond); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		mon.Release()
+		return reports
+	}
+	monitored := run(false)
+	oracle := run(true)
+
+	if len(monitored) == 0 || len(monitored) != len(oracle) {
+		t.Fatalf("epoch counts diverge: monitored %d, oracle %d", len(monitored), len(oracle))
+	}
+	for e := range oracle {
+		mr, or := monitored[e], oracle[e]
+		if mr.Epoch != or.Epoch || mr.Start != or.Start || mr.End != or.End {
+			t.Fatalf("epoch %d bounds diverge: %+v vs %+v", e, mr, or)
+		}
+		if len(mr.Routers) >= len(or.Routers) {
+			t.Fatalf("epoch %d: monitored set %d not smaller than oracle %d", e, len(mr.Routers), len(or.Routers))
+		}
+		inMonitored := make(map[netsim.NodeID]bool, len(mr.Routers))
+		for _, id := range mr.Routers {
+			inMonitored[id] = true
+		}
+		for _, id := range or.Routers {
+			if or.SourceEstimate(id) != mr.SourceEstimate(id) {
+				t.Fatalf("epoch %d router %d: S_i %v vs %v", e, id, mr.SourceEstimate(id), or.SourceEstimate(id))
+			}
+			if or.DestEstimate(id) != mr.DestEstimate(id) {
+				t.Fatalf("epoch %d router %d: D_j %v vs %v", e, id, mr.DestEstimate(id), or.DestEstimate(id))
+			}
+			if !inMonitored[id] && (or.SourceEstimate(id) != 0 || or.DestEstimate(id) != 0) {
+				t.Fatalf("epoch %d: unmonitored router %d recorded traffic in the oracle", e, id)
+			}
+		}
+		if len(mr.Matrix) != len(or.Matrix) {
+			t.Fatalf("epoch %d: matrix sizes diverge: %d vs %d", e, len(mr.Matrix), len(or.Matrix))
+		}
+		for i := range or.Matrix {
+			if mr.Matrix[i] != or.Matrix[i] {
+				t.Fatalf("epoch %d cell %d: %+v vs %+v", e, i, mr.Matrix[i], or.Matrix[i])
+			}
+		}
+	}
+}
+
+// dirtyCounters pushes synthetic packet IDs straight into every counter's
+// active sketches so a released monitor carries non-trivial sketch state.
+func dirtyCounters(m *Monitor) {
+	for _, id := range m.routerIDs {
+		c := m.counters[id]
+		for p := uint64(1); p <= 64; p++ {
+			c.source.Active().Add(p)
+			c.dest.Active().Add(p * 31)
+		}
+	}
+}
+
+// TestMonitorReuseBucketChange pins pooled-monitor reuse across a bucket-count
+// change: the recycled slab's geometry no longer matches, so the counters must
+// come up on fresh sketches of the new size with zero estimates.
+func TestMonitorReuseBucketChange(t *testing.T) {
+	d := smallDomain(t)
+	m1, err := NewMonitor(d.Net, MonitorConfig{Buckets: 64}, nil)
+	if err != nil {
+		t.Fatalf("NewMonitor: %v", err)
+	}
+	dirtyCounters(m1)
+	if est := m1.Counter(m1.routerIDs[0]).SourceEstimate(); est <= 0 {
+		t.Fatalf("dirtying left estimate %v, want > 0", est)
+	}
+	m1.Release()
+
+	d2 := smallDomain(t)
+	m2, err := NewMonitor(d2.Net, MonitorConfig{Buckets: 128}, nil)
+	if err != nil {
+		t.Fatalf("NewMonitor after bucket change: %v", err)
+	}
+	for _, id := range m2.routerIDs {
+		c := m2.Counter(id)
+		if c.buckets != 128 || c.source.Active().Buckets() != 128 {
+			t.Fatalf("router %d counter kept stale geometry: %d buckets", id, c.source.Active().Buckets())
+		}
+		if c.SourceEstimate() != 0 || c.DestEstimate() != 0 {
+			t.Fatalf("router %d counter serves stale sketch state after bucket change", id)
+		}
+	}
+	m2.Release()
+}
+
+// TestMonitorReuseWidthShrink pins pooled-monitor reuse when the router-ID
+// range shrinks: counters for the old domain's high IDs must be unreachable,
+// not stale pointers left in the recycled dense table.
+func TestMonitorReuseWidthShrink(t *testing.T) {
+	cfg := topology.DefaultConfig()
+	cfg.NumRouters = 40
+	big, err := topology.Build(cfg, sim.NewScheduler(), sim.NewRNG(3))
+	if err != nil {
+		t.Fatalf("build big domain: %v", err)
+	}
+	m1, err := NewMonitor(big.Net, MonitorConfig{MonitorAll: true}, nil)
+	if err != nil {
+		t.Fatalf("NewMonitor big: %v", err)
+	}
+	dirtyCounters(m1)
+	highID := m1.routerIDs[len(m1.routerIDs)-1]
+	m1.Release()
+
+	small := smallDomain(t) // 12 routers: IDs far below highID
+	m2, err := NewMonitor(small.Net, MonitorConfig{MonitorAll: true}, nil)
+	if err != nil {
+		t.Fatalf("NewMonitor small: %v", err)
+	}
+	if int(highID) < len(m2.counters) && m2.counters[highID] != nil {
+		t.Fatalf("stale counter for router %d survived the width shrink", highID)
+	}
+	if c := m2.Counter(highID); c != nil {
+		t.Fatalf("Counter(%d) = %v on the shrunk domain, want nil", highID, c)
+	}
+	report := m2.Compute(0)
+	if got := report.Routers[len(report.Routers)-1]; int(got) >= len(small.Net.Routers())+len(small.Net.Hosts()) {
+		t.Fatalf("report covers router %d outside the shrunk domain", got)
+	}
+	for _, id := range report.Routers {
+		if report.SourceEstimate(id) != 0 || report.DestEstimate(id) != 0 {
+			t.Fatalf("router %d inherited sketch state from the released big-domain monitor", id)
+		}
+	}
+	m2.Release()
+}
+
+// TestMonitorReuseAfterFailedConstruction pins the error path that returns a
+// half-updated monitor to the pool: a NewMonitor call that fails after the
+// pool Get (illegal bucket count, so the slab rebuild errors) must recycle
+// the object, and the next successful construction on it must not serve the
+// previous owner's sketch contents.
+func TestMonitorReuseAfterFailedConstruction(t *testing.T) {
+	d := smallDomain(t)
+	m1, err := NewMonitor(d.Net, MonitorConfig{Buckets: 64}, nil)
+	if err != nil {
+		t.Fatalf("NewMonitor: %v", err)
+	}
+	dirtyCounters(m1)
+	m1.Release()
+
+	if _, err := NewMonitor(d.Net, MonitorConfig{Buckets: 24}, nil); err == nil {
+		t.Fatal("illegal bucket count accepted")
+	}
+
+	d2 := smallDomain(t)
+	m2, err := NewMonitor(d2.Net, MonitorConfig{Buckets: 64}, nil)
+	if err != nil {
+		t.Fatalf("NewMonitor after failed construction: %v", err)
+	}
+	if m2 != m1 {
+		t.Fatal("failed construction dropped the pooled monitor instead of recycling it")
+	}
+	for _, id := range m2.routerIDs {
+		c := m2.Counter(id)
+		if c.SourceEstimate() != 0 || c.DestEstimate() != 0 {
+			t.Fatalf("router %d counter serves the previous owner's sketch state", id)
+		}
+	}
+	m2.Release()
+}
+
+// TestMonitoredEpochRotationZeroAlloc pins that a monitored-only epoch tick —
+// rotating every instrumented counter and computing the report from pooled
+// buffers — allocates nothing in steady state.
+func TestMonitoredEpochRotationZeroAlloc(t *testing.T) {
+	d := smallDomain(t)
+	d.Victim.SetDefaultHandler(func(*netsim.Packet, sim.Time) {})
+	mon, err := NewMonitor(d.Net, MonitorConfig{Epoch: 100 * sim.Millisecond}, nil)
+	if err != nil {
+		t.Fatalf("NewMonitor: %v", err)
+	}
+	mon.Start()
+	floodFrom(d, d.Clients[0], 300, 250*sim.Millisecond)
+	if err := d.Net.Scheduler().RunUntil(400 * sim.Millisecond); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	// Stop keeps OnEvent from rescheduling, so the measured body is exactly
+	// one rotation plus one report computation over the pooled buffers.
+	mon.Stop()
+	now := d.Net.Scheduler().Now()
+	allocs := testing.AllocsPerRun(50, func() { mon.OnEvent(now) })
+	if allocs != 0 {
+		t.Fatalf("monitored epoch rotation allocated %.1f times per tick, want 0", allocs)
+	}
+	mon.Release()
+}

@@ -24,6 +24,22 @@
 // the monitor allocate fresh backing per epoch instead (the historical
 // behaviour); the golden invariance tests use it to prove buffer reuse never
 // changes results.
+//
+// # Monitored set
+//
+// By default the monitor instruments only the routers that can ever record
+// traffic: those with at least one attached host. A counter's S_i sketch
+// fills only at a packet's first router (Hops == 0, the sending host's access
+// router) and its D_j sketch only at a router directly linked to the
+// destination host, so a router with no host neighbour contributes nothing to
+// any epoch report — attaching 4 sketches × every router, as the layer
+// historically did, spends almost all of its memory and rotation work on
+// counters that stay empty for the whole run. Reports from the monitored set
+// are bit-identical to the historical ones apart from EpochReport.Routers
+// shrinking to the instrumented routers; MonitorConfig.MonitorAll restores
+// the historical every-router behaviour as the equivalence oracle, and
+// MonitorConfig.Monitored pins an explicit set. The catalog-wide invariance
+// tests run whole scenarios under both settings to prove the equivalence.
 package trafficmatrix
 
 import (
@@ -113,8 +129,12 @@ func (c *Counter) Handle(pkt *netsim.Packet, _ sim.Time, at *netsim.Router) nets
 	} else {
 		c.transit++
 	}
+	// D_j fills at the destination's attachment routers. AttachmentLink
+	// reads the host's inline attachment record (and is nil for NoNode),
+	// where a LinkBetween probe would be a per-packet adjacency search that
+	// misses almost everywhere.
 	destNode := pkt.DestOwner(at.Network())
-	if destNode != netsim.NoNode && at.Network().LinkBetween(at.ID(), destNode) != nil {
+	if at.Network().AttachmentLink(at.ID(), destNode) != nil {
 		c.dest.Active().Add(pkt.ID)
 		c.destPkts++
 	}
@@ -192,7 +212,8 @@ type EpochReport struct {
 	Epoch int
 	// Start and End bound the measurement period.
 	Start, End sim.Time
-	// Routers lists every router carrying a counter, ascending by ID.
+	// Routers lists every router carrying a counter (the monitored set),
+	// ascending by ID.
 	Routers []netsim.NodeID
 	// SourceEst and DestEst are the |S_i| and |D_j| estimate tables,
 	// indexed by NodeID; entries for IDs outside Routers are zero. Use
@@ -255,8 +276,9 @@ func (r *EpochReport) Clone() EpochReport {
 // NS-2 implementation.
 type Monitor struct {
 	sched *sim.Scheduler
-	// counters is the dense NodeID-indexed counter table (nil for hosts);
-	// counterSlab is its backing, one allocation for the whole domain.
+	// counters is the dense NodeID-indexed counter table (nil for hosts
+	// and for routers outside the monitored set); counterSlab is its
+	// backing, one allocation for the whole monitored set.
 	counters    []*Counter
 	counterSlab []Counter
 	// sketchSlab backs every counter's four sketches (see NewMonitor); it
@@ -279,6 +301,9 @@ type Monitor struct {
 	matrix         []Cell
 	scratch        *loglog.Sketch
 	fresh          bool
+	// nbScratch is the reusable neighbour buffer behind the automatic
+	// monitored-set derivation.
+	nbScratch []netsim.NodeID
 
 	stop    bool
 	running bool
@@ -299,6 +324,16 @@ type MonitorConfig struct {
 	// the golden invariance tests run the whole scenario catalog under
 	// both settings to prove it.
 	FreshBuffers bool
+	// Monitored restricts instrumentation to the given routers (order and
+	// duplicates are irrelevant; NewMonitor rejects IDs that are not
+	// routers of the network). Empty selects the automatic set: every
+	// router with at least one attached host, which the package comment
+	// shows is report-equivalent to monitoring all of them.
+	Monitored []netsim.NodeID
+	// MonitorAll attaches a counter to every router of the network — the
+	// historical behaviour, kept as the oracle for the monitored-set
+	// default. Mutually exclusive with Monitored.
+	MonitorAll bool
 }
 
 // Validate reports configuration problems. Zero values are valid — they
@@ -313,6 +348,14 @@ func (c MonitorConfig) Validate() error {
 			return fmt.Errorf("%w: %v", ErrMonitorConfig, err)
 		}
 	}
+	if c.MonitorAll && len(c.Monitored) > 0 {
+		return fmt.Errorf("%w: MonitorAll and an explicit Monitored set are mutually exclusive", ErrMonitorConfig)
+	}
+	for _, id := range c.Monitored {
+		if id < 0 {
+			return fmt.Errorf("%w: monitored node %d is negative", ErrMonitorConfig, id)
+		}
+	}
 	return nil
 }
 
@@ -325,11 +368,51 @@ var ErrMonitorConfig = errors.New("trafficmatrix: invalid monitor config")
 // for every sweep point.
 var monitorPool = pool.FreeList[Monitor]{Cap: 64}
 
-// NewMonitor creates a monitor and attaches a counter to every router of the
-// network. The onReport callback receives each epoch's traffic matrix; see
-// the package comment for the report's lifetime rules. The monitor (sketch
-// slab included) comes from the package pool when a released one with
-// compatible geometry is available.
+// monitoredSet resolves the configured monitored set into the sorted,
+// deduplicated router-ID list the monitor instruments, appending into ids
+// (the recycled routerIDs backing). nb is a reusable neighbour buffer for the
+// automatic host-adjacency walk; the possibly-grown buffer is returned so the
+// pooled monitor keeps its capacity.
+func monitoredSet(net *netsim.Network, cfg MonitorConfig, ids, nb []netsim.NodeID) ([]netsim.NodeID, []netsim.NodeID, error) {
+	routers := net.Routers()
+	switch {
+	case len(cfg.Monitored) > 0:
+		for _, id := range cfg.Monitored {
+			if _, ok := routers[id]; !ok {
+				return nil, nb, fmt.Errorf("%w: monitored node %d is not a router of the network", ErrMonitorConfig, id)
+			}
+			ids = append(ids, id)
+		}
+	case cfg.MonitorAll:
+		for id := range routers {
+			ids = append(ids, id)
+		}
+	default:
+		// Automatic set: routers adjacent to at least one host — the only
+		// routers whose counters can record anything (see the package
+		// comment). Host maps iterate in arbitrary order; the sort below
+		// makes the result deterministic.
+		for hid := range net.Hosts() {
+			nb = net.AppendNeighbors(nb[:0], hid)
+			for _, r := range nb {
+				if _, ok := routers[r]; ok {
+					ids = append(ids, r)
+				}
+			}
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return slices.Compact(ids), nb, nil
+}
+
+// NewMonitor creates a monitor and attaches a counter to each router of the
+// configured monitored set — by default every router with an attached host,
+// which yields the same reports as instrumenting all of them (see the package
+// comment; MonitorConfig.MonitorAll restores that historical behaviour). The
+// onReport callback receives each epoch's traffic matrix; see the package
+// comment for the report's lifetime rules. The monitor (sketch slab included)
+// comes from the package pool when a released one with compatible geometry is
+// available.
 func NewMonitor(net *netsim.Network, cfg MonitorConfig, onReport func(EpochReport)) (*Monitor, error) {
 	if cfg.Buckets <= 0 {
 		cfg.Buckets = loglog.DefaultBuckets
@@ -337,22 +420,26 @@ func NewMonitor(net *netsim.Network, cfg MonitorConfig, onReport func(EpochRepor
 	if cfg.Epoch <= 0 {
 		cfg.Epoch = 100 * sim.Millisecond
 	}
+	if cfg.MonitorAll && len(cfg.Monitored) > 0 {
+		return nil, fmt.Errorf("%w: MonitorAll and an explicit Monitored set are mutually exclusive", ErrMonitorConfig)
+	}
 	routers := net.Routers()
 
 	m := monitorPool.Get()
 	if m == nil {
 		m = &Monitor{}
 	}
-	ids := m.routerIDs[:0]
-	maxID := netsim.NodeID(-1)
-	for id := range routers {
-		ids = append(ids, id)
-		if id > maxID {
-			maxID = id
-		}
+	ids, nb, err := monitoredSet(net, cfg, m.routerIDs[:0], m.nbScratch[:0])
+	if err != nil {
+		// Recycle rather than drop, as with the slab failure below.
+		m.nbScratch = nb
+		monitorPool.Put(m)
+		return nil, err
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	width := int(maxID) + 1
+	width := 0
+	if len(ids) > 0 {
+		width = int(ids[len(ids)-1]) + 1
+	}
 
 	counters := m.counters
 	if cap(counters) >= width {
@@ -421,6 +508,7 @@ func NewMonitor(net *netsim.Network, cfg MonitorConfig, onReport func(EpochRepor
 		dstEst:      dstEst,
 		matrix:      m.matrix[:0],
 		scratch:     scratch,
+		nbScratch:   nb,
 	}
 	for i, id := range ids {
 		c := &m.counterSlab[i]
@@ -455,7 +543,8 @@ func (m *Monitor) Release() {
 	monitorPool.Put(m)
 }
 
-// Counter returns the counter attached to the given router, or nil.
+// Counter returns the counter attached to the given router, or nil when the
+// router is outside the monitored set (or the ID is not a router at all).
 func (m *Monitor) Counter(id netsim.NodeID) *Counter {
 	if id < 0 || int(id) >= len(m.counters) {
 		return nil
