@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet check golden bench bench-baseline bench-diff bench-smoke search search-baseline search-smoke profile
+.PHONY: all build test vet check golden bench bench-baseline bench-diff bench-smoke search search-baseline search-smoke chaos-smoke profile
 
 all: build test
 
@@ -16,12 +16,15 @@ vet:
 # check is the full pre-merge gate: static analysis, a clean build of every
 # package (examples included, so they cannot rot), and the whole test suite —
 # golden-run scenario regressions and fuzz seed corpora included — under the
-# race detector.
+# race detector. The explicit -timeout covers the experiment package, whose
+# catalog-wide equivalence suites re-run every registered scenario several
+# ways and outgrew go test's default 10m budget under the race detector.
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m ./...
 	$(GO) run ./cmd/maficsearch -quick
+	$(MAKE) chaos-smoke
 
 # golden re-pins the scenario regression fixtures after an intentional
 # behaviour change. Review the diff before committing it.
@@ -73,6 +76,14 @@ search-baseline:
 # runs proving the harness end-to-end in well under a second.
 search-smoke:
 	$(GO) run ./cmd/maficsearch -quick
+
+# chaos-smoke re-runs the chaos catalog — link flaps, a router crash window
+# and the lossy control plane — in quick mode under the race detector, against
+# the pinned golden fixtures. A failure means churn handling regressed or a
+# fault schedule stopped biting.
+chaos-smoke:
+	$(GO) test -race -count=1 ./internal/experiment \
+		-run 'TestGoldenScenarios/(flap-core|partition-heal|lossy-control)|TestChaosScenariosRun'
 
 # profile runs the headline benchmark under the CPU and allocation profilers
 # so the next hotspot hunt starts from `go tool pprof cpu.pprof` instead of

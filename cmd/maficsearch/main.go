@@ -88,13 +88,18 @@ func run(args []string, out *os.File) error {
 	for _, d := range report.Defences {
 		fmt.Fprintf(out, "\ndefence %q: mean accuracy %.2f%%\n", d.Defence, d.MeanAccuracy*100)
 		wa := d.WorstAccuracy
-		fmt.Fprintf(out, "  worst accuracy:   %6.2f%%  at %s/%s/spread%.2f (Lr %.2f%%, %d ATRs, forgiven %d)\n",
-			wa.Accuracy*100, wa.Shape, wa.Mix, wa.Spread,
+		fmt.Fprintf(out, "  worst accuracy:   %6.2f%%  at %s/%s/%s/spread%.2f (Lr %.2f%%, %d ATRs, forgiven %d)\n",
+			wa.Accuracy*100, wa.Fault, wa.Shape, wa.Mix, wa.Spread,
 			wa.LegitimateDropRate*100, wa.ATRCount, wa.AttackForgiven)
 		wc := d.WorstCollateral
-		fmt.Fprintf(out, "  worst collateral: %6.2f%% Lr at %s/%s/spread%.2f (accuracy %.2f%%, condemned %d)\n",
-			wc.LegitimateDropRate*100, wc.Shape, wc.Mix, wc.Spread,
+		fmt.Fprintf(out, "  worst collateral: %6.2f%% Lr at %s/%s/%s/spread%.2f (accuracy %.2f%%, condemned %d)\n",
+			wc.LegitimateDropRate*100, wc.Fault, wc.Shape, wc.Mix, wc.Spread,
 			wc.Accuracy*100, wc.LegitCondemned)
+		for _, f := range d.ByFault {
+			fw := f.WorstAccuracy
+			fmt.Fprintf(out, "  fault %-12s mean %6.2f%%  worst %6.2f%% at %s/%s/spread%.2f\n",
+				f.Fault+":", f.MeanAccuracy*100, fw.Accuracy*100, fw.Shape, fw.Mix, fw.Spread)
+		}
 	}
 	return nil
 }

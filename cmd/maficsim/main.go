@@ -162,6 +162,9 @@ func run(args []string, out *os.File) error {
 	fmt.Fprintf(out, "  flows probed=%d nice=%d condemned=%d illegal=%d (legit condemned=%d, attack forgiven=%d)\n",
 		res.DefenseStats.FlowsProbed, res.DefenseStats.FlowsNice, res.DefenseStats.FlowsCondemned,
 		res.DefenseStats.FlowsIllegal, res.LegitFlowsCondemned, res.AttackFlowsForgiven)
+	if res.Counts.FaultDrops > 0 {
+		fmt.Fprintf(out, "  fault drops: %d packets lost to link/router churn\n", res.Counts.FaultDrops)
+	}
 	fmt.Fprintf(out, "  events processed: %d  (wall time %v)\n", res.EventsProcessed, elapsed.Round(time.Millisecond))
 	fmt.Fprintf(out, "  route state: %d next-hop entries resident (%d bytes, demand-driven)\n",
 		res.RouteEntries, res.RouteBytes)

@@ -12,7 +12,10 @@ import (
 // RunMany; in any mode it pins serial/parallel bit-identity for the catalog.
 func TestRunManyParallelAdversarialScenarios(t *testing.T) {
 	var scenarios []Scenario
-	for _, name := range []string{"multi-victim", "multi-victim", "rolling-pulse", "flash-crowd", "multihomed-victim", "transit-stub"} {
+	// The chaos scenarios ride along so fault schedules and the lossy
+	// control plane are proven bit-identical between serial and parallel
+	// execution too.
+	for _, name := range []string{"multi-victim", "multi-victim", "rolling-pulse", "flash-crowd", "multihomed-victim", "transit-stub", "flap-core", "partition-heal", "lossy-control"} {
 		e, ok := LookupScenario(name)
 		if !ok {
 			t.Fatalf("scenario %q not registered", name)

@@ -270,6 +270,51 @@ func init() {
 			s.Workload.ExtraVictimShare = 0.3
 		}))
 
+	// Chaos scenarios: the same floods with the fault layer switched on.
+	// Fault indices are chosen so the failed elements sit on loaded
+	// ingress-to-victim paths and stay transit (never ingress, never the
+	// last hop) in both the full 40-router domain and the 16-router quick
+	// variant, so the golden fixtures and the full runs churn the same
+	// roles: links 1-2 and 8-9 carry the seed-1 shortest paths from the
+	// third and ninth ingress routers, and router 7 is the chord hub most
+	// ingress paths funnel through.
+	MustRegister(builtin("flap-core",
+		"chaos: two loaded transit ring links flap repeatedly during the flood (150 ms outages every 400 ms); lazy routing re-converges around every flap while detection and defence keep running",
+		func(s *Scenario) {
+			s.Faults.LinkFlaps = []LinkFlap{
+				{RouterA: 1, RouterB: 2, Start: 800 * sim.Millisecond,
+					DownFor: 150 * sim.Millisecond, Period: 400 * sim.Millisecond, Count: 3},
+				{RouterA: 8, RouterB: 9, Start: 1000 * sim.Millisecond,
+					DownFor: 150 * sim.Millisecond, Period: 400 * sim.Millisecond, Count: 2},
+			}
+		}))
+
+	MustRegister(builtin("partition-heal",
+		"chaos: the transit chord hub crashes at 700 ms — cutting every ingress path through it mid-defence — and rejoins at 1.4 s; routing heals both ways and the defence survives the churn",
+		func(s *Scenario) {
+			s.Faults.RouterCrashes = []RouterCrash{
+				{Router: 7, CrashAt: 700 * sim.Millisecond, RestoreAt: 1400 * sim.Millisecond},
+			}
+		}))
+
+	MustRegister(builtin("lossy-control",
+		"chaos: the stress-5k flood under a degraded control plane — 20% of epoch reports lost and 10% delayed 20 ms — with the coordinator's staleness timeout and re-fire backoff absorbing the gaps",
+		func(s *Scenario) {
+			s.Topology.NumRouters = 5000
+			s.Topology.NumIngress = 40
+			s.Topology.ExtraChords = 1500
+			s.Topology.BystanderHosts = 32
+			s.Topology.ExtraVictims = 2
+			s.Workload.TotalFlows = 80
+			s.Workload.TCPShare = 0.80
+			s.Workload.ExtraVictimShare = 0.3
+			s.Faults.ReportLoss = 0.2
+			s.Faults.ReportDelayProb = 0.1
+			s.Faults.ReportDelay = 20 * sim.Millisecond
+			s.Pushback.StaleEpochs = 4
+			s.Pushback.RefireBackoffEpochs = 2
+		}))
+
 	MustRegister(builtin("stress-1k",
 		"scale proof: 1000-router ring with 300 chords, 40 ingress routers, three simultaneous victims — exercises the topology arena and zero-alloc epoch pipeline at 25x the paper's domain size",
 		func(s *Scenario) {

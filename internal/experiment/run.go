@@ -120,6 +120,9 @@ func runWith(s Scenario, arena *topology.Arena) (Result, error) {
 	if err != nil {
 		return Result{}, fmt.Errorf("build workload: %w", err)
 	}
+	if err := installFaults(s.Faults, domain, sched); err != nil {
+		return Result{}, err
+	}
 
 	collector := metrics.NewCollector(s.BinWidth)
 	collector.ReserveSeries(s.Duration)
@@ -216,7 +219,18 @@ func runWith(s Scenario, arena *topology.Arena) (Result, error) {
 			}
 		})
 
-	monitor, err := trafficmatrix.NewMonitor(domain.Net, s.Monitor, coordinator.HandleReport)
+	// The fault spec's control-plane knobs ride into the monitor config so
+	// a chaos scenario declares its whole failure model in one place; when
+	// they are zero the config is untouched and the monitor forks no RNG.
+	monCfg := s.Monitor
+	if s.Faults.ReportLoss > 0 {
+		monCfg.ReportLoss = s.Faults.ReportLoss
+	}
+	if s.Faults.ReportDelayProb > 0 {
+		monCfg.ReportDelayProb = s.Faults.ReportDelayProb
+		monCfg.ReportDelay = s.Faults.ReportDelay
+	}
+	monitor, err := trafficmatrix.NewMonitor(domain.Net, monCfg, coordinator.HandleReport)
 	if err != nil {
 		coordinator.Release()
 		return Result{}, fmt.Errorf("traffic monitor: %w", err)

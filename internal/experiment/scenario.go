@@ -86,6 +86,11 @@ type Scenario struct {
 	// triggered by then. Zero disables the fallback.
 	DetectionFallback sim.Time
 
+	// Faults is the scenario's failure model: scheduled link flaps and
+	// router crash windows plus a lossy control plane. The zero value
+	// injects nothing and leaves every fault-free run bit-identical.
+	Faults FaultSpec
+
 	// BinWidth is the victim bandwidth time-series bin width.
 	BinWidth sim.Time
 	// ReductionWindow is the measurement window for the traffic
@@ -150,6 +155,8 @@ func Harden(s Scenario) Scenario {
 	hp := pushback.HardenedConfig()
 	s.Pushback.ATRRise = hp.ATRRise
 	s.Pushback.ATRDecay = hp.ATRDecay
+	s.Pushback.StaleEpochs = hp.StaleEpochs
+	s.Pushback.RefireBackoffEpochs = hp.RefireBackoffEpochs
 	return s
 }
 
@@ -185,6 +192,9 @@ func (s Scenario) Validate() error {
 			return fmt.Errorf("%w: baseline drop probability %v outside [0,1]",
 				ErrScenario, s.BaselineDropProbability)
 		}
+	}
+	if err := s.Faults.Validate(s.Topology.NumRouters); err != nil {
+		return err
 	}
 	if s.Workload.AttackStart >= s.Duration {
 		return fmt.Errorf("%w: attack starts after the simulation ends", ErrScenario)

@@ -37,6 +37,17 @@ type AttackShape struct {
 	DutyCycle float64 `json:"dutyCycle,omitempty"`
 }
 
+// FaultShape names one failure model under search: the same attack grid is
+// re-run under each shape, so a defence's worst case is reported per fault
+// environment, not just under ideal conditions.
+type FaultShape struct {
+	// Name labels the shape in reports.
+	Name string `json:"name"`
+	// Faults is the failure model applied to every grid point under this
+	// shape. The zero value is the fault-free environment.
+	Faults FaultSpec `json:"faults,omitempty"`
+}
+
 // RateMix names one per-flow rate multiplier pattern.
 type RateMix struct {
 	// Name labels the mix in reports.
@@ -71,8 +82,20 @@ type SearchSpec struct {
 	Shapes        []AttackShape
 	RateMixes     []RateMix
 	VictimSpreads []float64
+	// FaultShapes is the failure-model axis; empty means a single
+	// fault-free environment, keeping pre-fault specs unchanged.
+	FaultShapes []FaultShape
 	// Defences are the configurations being compared.
 	Defences []DefenceVariant
+}
+
+// faultAxis normalises the failure-model axis: an unset axis is the single
+// fault-free environment.
+func (spec SearchSpec) faultAxis() []FaultShape {
+	if len(spec.FaultShapes) == 0 {
+		return []FaultShape{{Name: "none"}}
+	}
+	return spec.FaultShapes
 }
 
 // SearchPoint is one cell of the attack grid, before a defence is applied.
@@ -80,25 +103,32 @@ type SearchPoint struct {
 	// Index is the point's position in enumeration order; it also offsets
 	// the point's seed from the spec seed.
 	Index int
-	// Shape, Mix and Spread are the point's coordinates.
+	// Shape, Mix, Spread and Fault are the point's coordinates.
 	Shape  AttackShape
 	Mix    RateMix
 	Spread float64
+	Fault  FaultShape
 }
 
 // Grid enumerates the spec's attack points in deterministic nested order:
-// shapes outermost, then rate mixes, then victim spreads.
+// fault shapes outermost (so a single-fault spec keeps the historical point
+// order), then attack shapes, rate mixes and victim spreads.
 func (spec SearchSpec) Grid() []SearchPoint {
-	points := make([]SearchPoint, 0, len(spec.Shapes)*len(spec.RateMixes)*len(spec.VictimSpreads))
-	for _, shape := range spec.Shapes {
-		for _, mix := range spec.RateMixes {
-			for _, spread := range spec.VictimSpreads {
-				points = append(points, SearchPoint{
-					Index:  len(points),
-					Shape:  shape,
-					Mix:    mix,
-					Spread: spread,
-				})
+	faults := spec.faultAxis()
+	points := make([]SearchPoint, 0,
+		len(faults)*len(spec.Shapes)*len(spec.RateMixes)*len(spec.VictimSpreads))
+	for _, fault := range faults {
+		for _, shape := range spec.Shapes {
+			for _, mix := range spec.RateMixes {
+				for _, spread := range spec.VictimSpreads {
+					points = append(points, SearchPoint{
+						Index:  len(points),
+						Shape:  shape,
+						Mix:    mix,
+						Spread: spread,
+						Fault:  fault,
+					})
+				}
 			}
 		}
 	}
@@ -108,8 +138,10 @@ func (spec SearchSpec) Grid() []SearchPoint {
 // scenario materialises one grid point under one defence variant.
 func (spec SearchSpec) scenario(def DefenceVariant, p SearchPoint, quick bool) Scenario {
 	s := spec.Base
-	s.Name = fmt.Sprintf("%s/%s/%s/spread%.2f", def.Name, p.Shape.Name, p.Mix.Name, p.Spread)
+	s.Name = fmt.Sprintf("%s/%s/%s/%s/spread%.2f",
+		def.Name, p.Fault.Name, p.Shape.Name, p.Mix.Name, p.Spread)
 	s.Seed = spec.Seed + int64(p.Index)
+	s.Faults = p.Fault.Faults
 
 	w := &s.Workload
 	w.AttackGroups, w.AttackRotationPeriod = 0, 0
@@ -145,6 +177,7 @@ type PointOutcome struct {
 	Shape  string  `json:"shape"`
 	Mix    string  `json:"mix"`
 	Spread float64 `json:"victimSpread"`
+	Fault  string  `json:"fault,omitempty"`
 
 	Accuracy           float64 `json:"accuracy"`
 	LegitimateDropRate float64 `json:"legitimateDropRate"`
@@ -169,8 +202,22 @@ type DefenceOutcome struct {
 	WorstCollateral PointOutcome `json:"worstCollateral"`
 	// MeanAccuracy averages accuracy over the grid.
 	MeanAccuracy float64 `json:"meanAccuracy"`
+	// ByFault breaks the worst case down per failure model, in the fault
+	// axis's order — the robustness claim under churn, not just in the
+	// fault-free environment.
+	ByFault []FaultOutcome `json:"byFault,omitempty"`
 	// Points holds every grid point's outcome in enumeration order.
 	Points []PointOutcome `json:"points"`
+}
+
+// FaultOutcome aggregates one defence variant over the grid points sharing a
+// failure model.
+type FaultOutcome struct {
+	Fault string `json:"fault"`
+	// WorstAccuracy is the lowest-accuracy point under this failure model.
+	WorstAccuracy PointOutcome `json:"worstAccuracy"`
+	// MeanAccuracy averages accuracy over this failure model's points.
+	MeanAccuracy float64 `json:"meanAccuracy"`
 }
 
 // SearchReport is the harness's JSON-serialisable output.
@@ -215,6 +262,19 @@ func DefaultSearchSpec() SearchSpec {
 			{Name: "mixed", Multipliers: []float64{0.05, 0.25, 1, 3}},
 		},
 		VictimSpreads: []float64{0, 0.4},
+		// The failure-model axis re-runs the whole attack grid under
+		// churn: loaded transit-link flaps mid-attack and a 20%-lossy
+		// control plane (link 1-2 carries a seed-1 ingress path and both
+		// endpoints stay transit routers in the full 40-router domain and
+		// the 16-router quick variant alike).
+		FaultShapes: []FaultShape{
+			{Name: "none"},
+			{Name: "link-flaps", Faults: FaultSpec{LinkFlaps: []LinkFlap{
+				{RouterA: 1, RouterB: 2, Start: 800 * sim.Millisecond,
+					DownFor: 150 * sim.Millisecond, Period: 400 * sim.Millisecond, Count: 3},
+			}}},
+			{Name: "lossy-20pct", Faults: FaultSpec{ReportLoss: 0.2}},
+		},
 		Defences: []DefenceVariant{
 			{Name: "paper"},
 			{Name: "hardened", Apply: Harden},
@@ -233,6 +293,10 @@ func QuickSearchSpec() SearchSpec {
 	}
 	spec.RateMixes = spec.RateMixes[:1]
 	spec.VictimSpreads = []float64{0}
+	spec.FaultShapes = []FaultShape{
+		spec.FaultShapes[0], // none
+		spec.FaultShapes[1], // link-flaps
+	}
 	return spec
 }
 
@@ -286,6 +350,7 @@ func Search(spec SearchSpec, opts SearchOptions) (SearchReport, error) {
 				Shape:              p.Shape.Name,
 				Mix:                p.Mix.Name,
 				Spread:             p.Spread,
+				Fault:              p.Fault.Name,
 				Accuracy:           res.Accuracy,
 				LegitimateDropRate: res.LegitimateDropRate,
 				FalsePositiveRate:  res.FalsePositiveRate,
@@ -308,6 +373,24 @@ func Search(spec SearchSpec, opts SearchOptions) (SearchReport, error) {
 			}
 		}
 		outcome.MeanAccuracy = sum / float64(len(points))
+		for _, fault := range spec.faultAxis() {
+			fo := FaultOutcome{Fault: fault.Name}
+			n, faultSum := 0, 0.0
+			for _, po := range outcome.Points {
+				if po.Fault != fault.Name {
+					continue
+				}
+				if n == 0 || po.Accuracy < fo.WorstAccuracy.Accuracy {
+					fo.WorstAccuracy = po
+				}
+				faultSum += po.Accuracy
+				n++
+			}
+			if n > 0 {
+				fo.MeanAccuracy = faultSum / float64(n)
+				outcome.ByFault = append(outcome.ByFault, fo)
+			}
+		}
 		report.Defences = append(report.Defences, outcome)
 	}
 	return report, nil
@@ -326,8 +409,17 @@ func (r SearchReport) Equal(o SearchReport) bool {
 			a.WorstAccuracy != b.WorstAccuracy ||
 			a.WorstCollateral != b.WorstCollateral ||
 			!floatEqual(a.MeanAccuracy, b.MeanAccuracy) ||
-			!slices.Equal(a.Points, b.Points) {
+			!slices.Equal(a.Points, b.Points) ||
+			len(a.ByFault) != len(b.ByFault) {
 			return false
+		}
+		for j := range a.ByFault {
+			fa, fb := a.ByFault[j], b.ByFault[j]
+			if fa.Fault != fb.Fault ||
+				fa.WorstAccuracy != fb.WorstAccuracy ||
+				!floatEqual(fa.MeanAccuracy, fb.MeanAccuracy) {
+				return false
+			}
 		}
 	}
 	return true

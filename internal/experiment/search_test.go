@@ -8,21 +8,36 @@ import (
 func TestSearchGridEnumerationDeterministic(t *testing.T) {
 	spec := DefaultSearchSpec()
 	grid := spec.Grid()
-	if want := len(spec.Shapes) * len(spec.RateMixes) * len(spec.VictimSpreads); len(grid) != want {
+	perFault := len(spec.Shapes) * len(spec.RateMixes) * len(spec.VictimSpreads)
+	if want := len(spec.FaultShapes) * perFault; len(grid) != want {
 		t.Fatalf("grid has %d points, want %d", len(grid), want)
 	}
-	// Nested order: shapes outermost, then mixes, then spreads — and Index
-	// must equal the enumeration position, because it offsets the seed.
+	// Nested order: fault shapes outermost, then attack shapes, mixes and
+	// spreads — and Index must equal the enumeration position, because it
+	// offsets the seed.
 	for i, p := range grid {
 		if p.Index != i {
 			t.Fatalf("point %d carries index %d", i, p.Index)
 		}
-		si := i / (len(spec.RateMixes) * len(spec.VictimSpreads))
+		fi := i / perFault
+		si := i / (len(spec.RateMixes) * len(spec.VictimSpreads)) % len(spec.Shapes)
 		mi := i / len(spec.VictimSpreads) % len(spec.RateMixes)
 		vi := i % len(spec.VictimSpreads)
-		if p.Shape.Name != spec.Shapes[si].Name || p.Mix.Name != spec.RateMixes[mi].Name ||
+		if p.Fault.Name != spec.FaultShapes[fi].Name ||
+			p.Shape.Name != spec.Shapes[si].Name || p.Mix.Name != spec.RateMixes[mi].Name ||
 			p.Spread != spec.VictimSpreads[vi] {
-			t.Fatalf("point %d out of order: %s/%s/%v", i, p.Shape.Name, p.Mix.Name, p.Spread)
+			t.Fatalf("point %d out of order: %s/%s/%s/%v", i, p.Fault.Name, p.Shape.Name, p.Mix.Name, p.Spread)
+		}
+	}
+	// An unset fault axis behaves as a single fault-free environment, so
+	// pre-fault specs keep their historical point order and seeds.
+	spec.FaultShapes = nil
+	if got := len(spec.Grid()); got != perFault {
+		t.Fatalf("fault-free grid has %d points, want %d", got, perFault)
+	}
+	for _, p := range spec.Grid() {
+		if p.Fault.Name != "none" || p.Fault.Faults.Enabled() {
+			t.Fatalf("point %d in a fault-free grid carries fault %q", p.Index, p.Fault.Name)
 		}
 	}
 }
@@ -109,6 +124,20 @@ func TestSearchReportShape(t *testing.T) {
 		}
 		if d.MeanAccuracy < d.WorstAccuracy.Accuracy {
 			t.Fatalf("defence %q mean %v below worst %v", d.Defence, d.MeanAccuracy, d.WorstAccuracy.Accuracy)
+		}
+		if len(d.ByFault) != len(spec.FaultShapes) {
+			t.Fatalf("defence %q has %d fault outcomes, want %d", d.Defence, len(d.ByFault), len(spec.FaultShapes))
+		}
+		for i, f := range d.ByFault {
+			if f.Fault != spec.FaultShapes[i].Name {
+				t.Fatalf("fault outcome %d is %q, want %q", i, f.Fault, spec.FaultShapes[i].Name)
+			}
+			if f.WorstAccuracy.Fault != f.Fault {
+				t.Fatalf("fault %q worst case comes from fault %q", f.Fault, f.WorstAccuracy.Fault)
+			}
+			if f.MeanAccuracy < f.WorstAccuracy.Accuracy {
+				t.Fatalf("fault %q mean %v below worst %v", f.Fault, f.MeanAccuracy, f.WorstAccuracy.Accuracy)
+			}
 		}
 	}
 }

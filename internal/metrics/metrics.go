@@ -63,6 +63,10 @@ type Collector struct {
 	// Queue drops anywhere in the network (not attributable to MAFIC).
 	queueDrops uint64
 
+	// Fault drops: packets killed by down links or crashed routers during
+	// injected-failure runs (not attributable to MAFIC either).
+	faultDrops uint64
+
 	// bins is the victim bandwidth time series, indexed densely by bin
 	// number (Time/binWidth). Quiet bins stay zero and are skipped by
 	// Series, so the dense layout is invisible in the reported output; it
@@ -200,6 +204,9 @@ func (c *Collector) InstallHooks(net *netsim.Network, victimHost netsim.NodeID) 
 		OnQueueDrop: func(*netsim.Packet, *netsim.Link, sim.Time) {
 			c.queueDrops++
 		},
+		OnFaultDrop: func(*netsim.Packet, netsim.NodeID, sim.Time) {
+			c.faultDrops++
+		},
 	})
 }
 
@@ -333,6 +340,7 @@ type Counts struct {
 	VictimAttackPre  uint64 `json:"victimAttackPre"`
 	VictimAttack     uint64 `json:"victimAttackPost"`
 	QueueDrops       uint64 `json:"queueDrops"`
+	FaultDrops       uint64 `json:"faultDrops"`
 }
 
 // Counts returns a snapshot of the raw counters.
@@ -352,5 +360,6 @@ func (c *Collector) Counts() Counts {
 		VictimAttackPre:  c.victimAttackPre,
 		VictimAttack:     c.victimAttackPost,
 		QueueDrops:       c.queueDrops,
+		FaultDrops:       c.faultDrops,
 	}
 }

@@ -49,4 +49,22 @@
 // reservation is a hint, not a cap: nodes added past it stay correct and keep
 // carving from the slabs — row widths are validated against the live node
 // count (see denseRowWidth), never against the stale hint alone.
+//
+// # Link and router failure
+//
+// Links and routers carry runtime up/down state for fault injection
+// (Link.SetDown, Network.FailRouter / RestoreRouter). A down link admits no
+// packets and kills packets already in flight on it at their arrival instant;
+// a crashed router drops everything addressed through it without running its
+// filter chain. Every such drop is accounted (Hooks.OnFaultDrop, the
+// FaultDropped counters) and the packet is recycled through the pool like any
+// other terminal point. Each state flip bumps TopoVersion and invalidates the
+// memoized next-hop columns, and AppendNeighbors skips down links and links
+// into crashed routers while any fault is active — so demand-driven (lazy)
+// routing re-converges around the fault, while eagerly installed static
+// tables intentionally do not (packets on the stale path die at the fault,
+// making eager mode an oracle only for fault-free runs). With every link and
+// router up, none of this exists on the hot path: AppendNeighbors takes the
+// historical loop, no RNG is consulted, nothing allocates, and simulations
+// are bit-identical to builds without the fault layer.
 package netsim

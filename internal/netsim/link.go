@@ -35,9 +35,15 @@ type Link struct {
 	// queued counts packets accepted but not yet fully transmitted.
 	queued int
 
+	// down marks the link failed: it admits nothing and in-flight packets
+	// die on arrival. Flipped only through SetDown (see faults.go), which
+	// keeps the network's fault bookkeeping and TopoVersion in step.
+	down bool
+
 	// Counters for instrumentation.
-	sent    uint64
-	dropped uint64
+	sent       uint64
+	dropped    uint64
+	faultDrops uint64
 }
 
 // From reports the upstream node of the link.
@@ -74,6 +80,12 @@ func (l *Link) transmissionTime(sizeBytes int) sim.Time {
 // link.
 func (l *Link) Send(pkt *Packet) {
 	now := l.net.Now()
+	if l.down {
+		l.faultDrops++
+		l.net.noteFaultDrop(pkt, l.from, now)
+		l.net.FreePacket(pkt)
+		return
+	}
 	if l.queued >= l.cfg.QueueLen {
 		l.dropped++
 		l.net.noteQueueDrop(pkt, l, now)
@@ -106,8 +118,17 @@ func (l *Link) OnEvent(sim.Time) { l.queued-- }
 
 // OnEventArg implements sim.ArgHandler: the packet carried as arg has
 // propagated to the downstream node.
-func (l *Link) OnEventArg(_ sim.Time, arg any) {
+func (l *Link) OnEventArg(now sim.Time, arg any) {
 	pkt := arg.(*Packet)
+	if l.down {
+		// The link died while the packet was in flight: it is dropped and
+		// accounted here, not leaked — the pool gets it back like any other
+		// terminal point.
+		l.faultDrops++
+		l.net.noteFaultDrop(pkt, l.to, now)
+		l.net.FreePacket(pkt)
+		return
+	}
 	l.net.deliverTo(l.to, pkt, l.from)
 }
 

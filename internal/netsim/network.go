@@ -34,6 +34,10 @@ type Hooks struct {
 	// the packet is discarded. Probes addressed to spoofed, unreachable
 	// sources end up here.
 	OnUnroutable func(pkt *Packet, at NodeID, now sim.Time)
+	// OnFaultDrop fires when a down link or crashed router kills a packet
+	// (see faults.go); at is the node where it died. The packet is
+	// discarded.
+	OnFaultDrop func(pkt *Packet, at NodeID, now sim.Time)
 }
 
 // nodeSlot is the dense per-NodeID dispatch record: exactly one of router or
@@ -170,9 +174,17 @@ type Network struct {
 	routeCols        [][]NodeID
 	colsMaterialized int
 	colEntries       int
-	// topoVersion counts graph mutations (nodes added, links connected) so
-	// resolvers can detect a stale snapshot; see TopoVersion.
+	// topoVersion counts graph mutations (nodes added, links connected,
+	// fault state flipped) so resolvers can detect a stale snapshot; see
+	// TopoVersion.
 	topoVersion uint64
+
+	// Fault bookkeeping (see faults.go): counts of currently-down links and
+	// routers — AppendNeighbors only takes its fault-aware path while either
+	// is nonzero — and the network-wide fault-drop total.
+	downLinks   int
+	downRouters int
+	faultDrops  uint64
 
 	hooks Hooks
 }
@@ -681,8 +693,16 @@ func (n *Network) denseInsert(from, to NodeID, l *Link) {
 }
 
 // ConnectDuplex adds two simplex links (a->b and b->a) with the same
-// configuration.
+// configuration. Both directions are validated before either is installed:
+// a rejected pair leaves no half-installed duplex link behind and does not
+// move TopoVersion.
 func (n *Network) ConnectDuplex(a, b NodeID, cfg LinkConfig) error {
+	if !n.nodeExists(a) || !n.nodeExists(b) {
+		return fmt.Errorf("connect %d<->%d: %w", a, b, ErrUnknownNode)
+	}
+	if n.LinkBetween(a, b) != nil || n.LinkBetween(b, a) != nil {
+		return fmt.Errorf("connect %d<->%d: %w", a, b, ErrDuplicateLink)
+	}
 	if _, err := n.Connect(a, b, cfg); err != nil {
 		return err
 	}
@@ -751,7 +771,14 @@ func (n *Network) Neighbors(id NodeID) []NodeID {
 // AppendNeighbors appends id's neighbours (ascending) to dst and returns the
 // extended slice. Passing a reused buffer makes adjacency iteration
 // allocation-free; route computation over large domains depends on this.
+// While any link or router is down, down links and links into crashed
+// routers are skipped (in the same ascending order), so route recomputation
+// converges around the fault; with no fault active the historical loop runs
+// untouched.
 func (n *Network) AppendNeighbors(dst []NodeID, id NodeID) []NodeID {
+	if n.faultsActive() {
+		return n.appendLiveNeighbors(dst, id)
+	}
 	if n.adjMode == AdjacencySparse {
 		if id < 0 || int(id) >= len(n.sparse) {
 			return dst

@@ -45,8 +45,14 @@ type Router struct {
 
 	filters []Filter
 
-	forwarded uint64
-	dropped   uint64
+	// down marks the router crashed: arriving and self-injected packets are
+	// dropped without running the filter chain. Flipped only through
+	// Network.FailRouter / RestoreRouter (see faults.go).
+	down bool
+
+	forwarded  uint64
+	dropped    uint64
+	faultDrops uint64
 }
 
 var _ Deliverable = (*Router)(nil)
@@ -65,6 +71,13 @@ func (r *Router) Forwarded() uint64 { return r.forwarded }
 
 // FilterDropped reports how many packets the router's filters discarded.
 func (r *Router) FilterDropped() uint64 { return r.dropped }
+
+// FaultDropped reports how many packets died at this router while it was
+// crashed.
+func (r *Router) FaultDropped() uint64 { return r.faultDrops }
+
+// Down reports whether the router is currently crashed.
+func (r *Router) Down() bool { return r.down }
 
 // SetRoute installs the next hop used to reach dest.
 func (r *Router) SetRoute(dest, nextHop NodeID) {
@@ -140,14 +153,29 @@ func (r *Router) Deliver(pkt *Packet, from NodeID) {
 
 // Inject routes a packet that originates at this router itself, bypassing
 // the filter chain exactly once (the router should not drop its own probes).
+// A crashed router injects nothing.
 func (r *Router) Inject(pkt *Packet) {
+	if r.down {
+		r.faultDrops++
+		r.net.noteFaultDrop(pkt, r.id, r.net.Now())
+		r.net.FreePacket(pkt)
+		return
+	}
 	r.route(pkt)
 }
 
 // forward runs the filter chain and then routes the packet. A filter drop is
-// a terminal point: the packet is reported and recycled.
+// a terminal point: the packet is reported and recycled. A crashed router is
+// terminal too — its filters do not run, so a dead router neither measures
+// nor defends.
 func (r *Router) forward(pkt *Packet, _ NodeID) {
 	now := r.net.Now()
+	if r.down {
+		r.faultDrops++
+		r.net.noteFaultDrop(pkt, r.id, now)
+		r.net.FreePacket(pkt)
+		return
+	}
 	for _, f := range r.filters {
 		if f.Handle(pkt, now, r) == ActionDrop {
 			r.dropped++

@@ -33,6 +33,8 @@ func TestConfigValidate(t *testing.T) {
 		{"ATR rise above one", func(c *Config) { c.ATRRise = 1.5 }},
 		{"negative ATR decay", func(c *Config) { c.ATRDecay = -0.1 }},
 		{"ATR decay above one", func(c *Config) { c.ATRDecay = 1.1 }},
+		{"negative stale epochs", func(c *Config) { c.StaleEpochs = -1 }},
+		{"negative refire backoff", func(c *Config) { c.RefireBackoffEpochs = -2 }},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {

@@ -116,6 +116,21 @@ type Config struct {
 	// keeps a rotating attacker's quiet groups identified. Only meaningful
 	// with ATRRise > 0; zero selects the default 0.85.
 	ATRDecay float64
+	// StaleEpochs, when positive, is the staleness timeout for a lossy
+	// control channel: when the gap between consecutively delivered epoch
+	// reports reaches StaleEpochs missing epochs, the per-router |D_j|
+	// baselines are considered stale and are relearned from scratch —
+	// detection thresholds computed against a pre-outage baseline would
+	// otherwise fire (or fail to fire) against a world that no longer
+	// exists. Zero keeps baselines through gaps of any length.
+	StaleEpochs int
+	// RefireBackoffEpochs, when positive, rate-limits hysteresis re-fires:
+	// a grown identified set is re-issued only once at least this many
+	// epochs have passed since the previous request, so pushback does not
+	// thrash the defence layer when churn makes identification flap. The
+	// grown set is never lost — it fires as soon as the backoff allows.
+	// Zero re-fires immediately (the historical behaviour).
+	RefireBackoffEpochs int
 	// Eligible restricts ATR identification to the given routers
 	// (typically the domain's ingress routers). Empty means any router
 	// may be identified.
@@ -162,6 +177,12 @@ func (c Config) Validate() error {
 	if c.ATRDecay < 0 || c.ATRDecay > 1 {
 		return fmt.Errorf("%w: ATR decay %v outside [0,1]", ErrConfig, c.ATRDecay)
 	}
+	if c.StaleEpochs < 0 {
+		return fmt.Errorf("%w: stale epochs %d", ErrConfig, c.StaleEpochs)
+	}
+	if c.RefireBackoffEpochs < 0 {
+		return fmt.Errorf("%w: refire backoff epochs %d", ErrConfig, c.RefireBackoffEpochs)
+	}
 	return nil
 }
 
@@ -189,6 +210,8 @@ func HardenedConfig() Config {
 	c := DefaultConfig()
 	c.ATRRise = 0.5
 	c.ATRDecay = 0.85
+	c.StaleEpochs = 4
+	c.RefireBackoffEpochs = 2
 	return c
 }
 
@@ -229,6 +252,14 @@ type Coordinator struct {
 	triggerLoad   float64
 	calmEpochs    int
 	requestsFired int
+
+	// Lossy-control-channel state: the last epoch whose report was
+	// processed (0 before the first numbered report), the epoch of the last
+	// request issued, and whether a grown identified set is waiting out the
+	// re-fire backoff.
+	lastEpoch     int
+	lastFireEpoch int
+	pendingRefire bool
 }
 
 // coordinatorPool recycles released coordinators across runs, keeping their
@@ -312,8 +343,26 @@ func (c *Coordinator) Requests() int { return c.requestsFired }
 // unless ATRRise is enabled and pushback is active.
 func (c *Coordinator) IdentifiedATRs() int { return c.identified }
 
-// HandleReport is wired as the traffic-matrix monitor's epoch callback.
+// HandleReport is wired as the traffic-matrix monitor's epoch callback. On a
+// lossy control channel reports may be missing (numbering gaps) or delivered
+// late (epoch at or before one already processed); gaps decay — rather than
+// freeze — the hysteresis state and, past the staleness timeout, reset the
+// learned baselines, while late duplicates are ignored outright.
 func (c *Coordinator) HandleReport(report trafficmatrix.EpochReport) {
+	if report.Epoch > 0 {
+		if c.lastEpoch > 0 {
+			if report.Epoch <= c.lastEpoch {
+				// A delayed report overtaken by newer ones: its epoch was
+				// already accounted (as a gap or a delivery). Acting on it
+				// would roll the detector's view of the world backwards.
+				return
+			}
+			if gap := report.Epoch - c.lastEpoch - 1; gap > 0 {
+				c.noteReportGap(gap)
+			}
+		}
+		c.lastEpoch = report.Epoch
+	}
 	victim, load, threshold, found := c.detectVictim(report)
 	c.updateHistory(report, found, victim)
 	if c.active {
@@ -335,9 +384,34 @@ func (c *Coordinator) HandleReport(report trafficmatrix.EpochReport) {
 	c.triggerLoad = threshold
 	c.calmEpochs = 0
 	c.requestsFired++
+	c.lastFireEpoch = report.Epoch
 	c.seedATRScores(req.ATRs)
 	if c.onPushback != nil {
 		c.onPushback(req)
+	}
+}
+
+// noteReportGap accounts gap epochs whose reports never arrived. The ATR
+// scores decay through the dark epochs exactly as if the routers had
+// contributed nothing (identification stays sticky — scores decay, reported
+// routers are not un-reported), and once the outage reaches the staleness
+// timeout the |D_j| baselines are dropped for relearning.
+func (c *Coordinator) noteReportGap(gap int) {
+	if c.cfg.ATRRise > 0 {
+		decay := 1.0
+		for e := 0; e < gap; e++ {
+			decay *= c.cfg.ATRDecay
+		}
+		for i := range c.atrScore {
+			c.atrScore[i] *= decay
+		}
+	}
+	if c.cfg.StaleEpochs > 0 && gap >= c.cfg.StaleEpochs {
+		for i := range c.history {
+			c.history[i] = 0
+			c.historyOK[i] = false
+		}
+		c.historySeen = 0
 	}
 }
 
@@ -410,8 +484,22 @@ func (c *Coordinator) updateATRScores(report trafficmatrix.EpochReport) {
 		grew = true
 	}
 	if grew {
+		c.pendingRefire = true
+	}
+	if c.pendingRefire && c.refireAllowed(report.Epoch) {
+		c.pendingRefire = false
+		c.lastFireEpoch = report.Epoch
 		c.fireIdentifiedSet(report.Epoch, load)
 	}
+}
+
+// refireAllowed applies the re-fire backoff: with no backoff configured (or
+// unnumbered reports, as hand-built tests use) re-fires are immediate.
+func (c *Coordinator) refireAllowed(epoch int) bool {
+	if c.cfg.RefireBackoffEpochs <= 0 || epoch <= 0 || c.lastFireEpoch <= 0 {
+		return true
+	}
+	return epoch-c.lastFireEpoch >= c.cfg.RefireBackoffEpochs
 }
 
 // fireIdentifiedSet re-issues the pushback request carrying the full
@@ -598,4 +686,5 @@ func (c *Coordinator) resetATRScores() {
 		c.shareScratch[i] = 0
 	}
 	c.identified = 0
+	c.pendingRefire = false
 }

@@ -20,6 +20,12 @@ func TestMonitorConfigValidate(t *testing.T) {
 	if err := (MonitorConfig{}).Validate(); err != nil {
 		t.Fatalf("zero config must be valid: %v", err)
 	}
+	good.ReportLoss = 0.2
+	good.ReportDelayProb = 0.1
+	good.ReportDelay = 20 * sim.Millisecond
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid lossy-channel config rejected: %v", err)
+	}
 	tests := []struct {
 		name string
 		cfg  MonitorConfig
@@ -28,6 +34,12 @@ func TestMonitorConfigValidate(t *testing.T) {
 		{"non-power-of-two buckets", MonitorConfig{Epoch: sim.Second, Buckets: 100}},
 		{"buckets too small", MonitorConfig{Epoch: sim.Second, Buckets: 8}},
 		{"buckets too large", MonitorConfig{Epoch: sim.Second, Buckets: 1 << 20}},
+		{"negative report loss", MonitorConfig{ReportLoss: -0.1}},
+		{"report loss above one", MonitorConfig{ReportLoss: 1.1}},
+		{"negative delay probability", MonitorConfig{ReportDelayProb: -0.5}},
+		{"delay probability above one", MonitorConfig{ReportDelayProb: 2}},
+		{"negative report delay", MonitorConfig{ReportDelay: -sim.Millisecond}},
+		{"delay probability without delay", MonitorConfig{ReportDelayProb: 0.5}},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {

@@ -295,6 +295,15 @@ type Monitor struct {
 	epochStart sim.Time
 	onReport   func(EpochReport)
 
+	// Lossy control channel (see MonitorConfig). ctrlRNG is non-nil only
+	// when a loss or delay probability is configured: a monitor with both
+	// knobs zero draws no randomness at all, which is what keeps fault-free
+	// runs bit-identical to builds without the lossy channel.
+	reportLoss  float64
+	delayProb   float64
+	reportDelay sim.Time
+	ctrlRNG     *sim.RNG
+
 	// Pooled report backing (see the package comment). scratch holds the
 	// union sketch reused by every intersection estimate.
 	srcEst, dstEst []float64
@@ -309,7 +318,10 @@ type Monitor struct {
 	running bool
 }
 
-var _ sim.EventHandler = (*Monitor)(nil)
+var (
+	_ sim.EventHandler = (*Monitor)(nil)
+	_ sim.ArgHandler   = (*Monitor)(nil)
+)
 
 // MonitorConfig configures a Monitor.
 type MonitorConfig struct {
@@ -334,6 +346,21 @@ type MonitorConfig struct {
 	// historical behaviour, kept as the oracle for the monitored-set
 	// default. Mutually exclusive with Monitored.
 	MonitorAll bool
+	// ReportLoss is the probability, drawn once per epoch, that the epoch's
+	// report is lost: counters still rotate and the epoch index advances
+	// (downstream consumers see a numbering gap), but no report reaches the
+	// onReport callback. Zero (the default) disables loss and draws no
+	// randomness.
+	ReportLoss float64
+	// ReportDelayProb is the probability that a surviving report is
+	// delivered ReportDelay late instead of at the epoch boundary. Delayed
+	// reports are deep copies (the pooled buffers roll on underneath) and
+	// may arrive after newer epochs' reports — consumers must tolerate
+	// out-of-order delivery. Zero disables delay and draws no randomness.
+	ReportDelayProb float64
+	// ReportDelay is how late a delayed report arrives. Required positive
+	// when ReportDelayProb is set.
+	ReportDelay sim.Time
 }
 
 // Validate reports configuration problems. Zero values are valid — they
@@ -355,6 +382,18 @@ func (c MonitorConfig) Validate() error {
 		if id < 0 {
 			return fmt.Errorf("%w: monitored node %d is negative", ErrMonitorConfig, id)
 		}
+	}
+	if c.ReportLoss < 0 || c.ReportLoss > 1 {
+		return fmt.Errorf("%w: report loss %v must be in [0,1]", ErrMonitorConfig, c.ReportLoss)
+	}
+	if c.ReportDelayProb < 0 || c.ReportDelayProb > 1 {
+		return fmt.Errorf("%w: report delay probability %v must be in [0,1]", ErrMonitorConfig, c.ReportDelayProb)
+	}
+	if c.ReportDelay < 0 {
+		return fmt.Errorf("%w: report delay %v must not be negative", ErrMonitorConfig, c.ReportDelay)
+	}
+	if c.ReportDelayProb > 0 && c.ReportDelay <= 0 {
+		return fmt.Errorf("%w: report delay probability %v needs a positive ReportDelay", ErrMonitorConfig, c.ReportDelayProb)
 	}
 	return nil
 }
@@ -494,6 +533,15 @@ func NewMonitor(net *netsim.Network, cfg MonitorConfig, onReport func(EpochRepor
 		}
 	}
 
+	// The control-channel RNG is forked only when a loss/delay knob is
+	// actually set: a fault-free monitor consumes no draw from the
+	// network's stream, preserving bit-identity with the pre-fault-layer
+	// engine. The full-literal reinit below also guarantees pooled reuse
+	// cannot carry a previous run's lossy-channel state into this one.
+	var ctrlRNG *sim.RNG
+	if cfg.ReportLoss > 0 || cfg.ReportDelayProb > 0 {
+		ctrlRNG = net.RNG().Fork()
+	}
 	*m = Monitor{
 		sched:       net.Scheduler(),
 		counters:    counters,
@@ -509,6 +557,10 @@ func NewMonitor(net *netsim.Network, cfg MonitorConfig, onReport func(EpochRepor
 		matrix:      m.matrix[:0],
 		scratch:     scratch,
 		nbScratch:   nb,
+		reportLoss:  cfg.ReportLoss,
+		delayProb:   cfg.ReportDelayProb,
+		reportDelay: cfg.ReportDelay,
+		ctrlRNG:     ctrlRNG,
 	}
 	for i, id := range ids {
 		c := &m.counterSlab[i]
@@ -534,6 +586,10 @@ func (m *Monitor) Release() {
 	m.stop = false
 	m.epochIndex = 0
 	m.epochStart = 0
+	m.ctrlRNG = nil
+	m.reportLoss = 0
+	m.delayProb = 0
+	m.reportDelay = 0
 	for i := range m.counters {
 		m.counters[i] = nil
 	}
@@ -576,16 +632,47 @@ func (m *Monitor) OnEvent(now sim.Time) {
 	for _, id := range m.routerIDs {
 		m.counters[id].rotate()
 	}
+	if m.ctrlRNG != nil && m.ctrlRNG.Bool(m.reportLoss) {
+		// The report is lost on the control channel: the epoch still ends
+		// (counters rotated above) and its index is still consumed, so
+		// consumers observe a numbering gap — but nothing is computed or
+		// delivered.
+		m.epochIndex++
+		m.finishEpoch(now)
+		return
+	}
 	report := m.compute(now, true)
 	if m.onReport != nil {
-		m.onReport(report)
+		if m.ctrlRNG != nil && m.ctrlRNG.Bool(m.delayProb) {
+			// Delayed delivery: the pooled report buffers roll on with the
+			// next epoch, so the late copy must own its backing. The
+			// allocation is confined to the lossy-channel path.
+			late := report.Clone()
+			m.sched.ScheduleArgAfter(m.reportDelay, m, &late)
+		} else {
+			m.onReport(report)
+		}
 	}
+	m.finishEpoch(now)
+}
+
+// finishEpoch advances the epoch window and reschedules the tick.
+func (m *Monitor) finishEpoch(now sim.Time) {
 	m.epochStart = now
 	if m.stop {
 		m.running = false
 		return
 	}
 	m.sched.ScheduleHandlerAfter(m.epoch, m)
+}
+
+// OnEventArg implements sim.ArgHandler: a delayed epoch report reaches the
+// consumer. The argument is the owned deep copy made at the epoch boundary.
+func (m *Monitor) OnEventArg(_ sim.Time, arg any) {
+	late := arg.(*EpochReport)
+	if m.onReport != nil {
+		m.onReport(*late)
+	}
 }
 
 // Compute builds an EpochReport from the counters' current in-progress state
