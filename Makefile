@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet check golden bench bench-baseline bench-diff bench-smoke search search-baseline search-smoke chaos-smoke profile
+.PHONY: all build test vet check golden bench bench-baseline bench-diff bench-smoke search search-baseline search-smoke chaos-smoke crash-smoke profile
 
 all: build test
 
@@ -25,6 +25,7 @@ check:
 	$(GO) test -race -timeout 30m ./...
 	$(GO) run ./cmd/maficsearch -quick
 	$(MAKE) chaos-smoke
+	$(MAKE) crash-smoke
 
 # golden re-pins the scenario regression fixtures after an intentional
 # behaviour change. Review the diff before committing it.
@@ -47,9 +48,9 @@ bench-baseline:
 # prints a comparison table against the tracked baseline, and exits non-zero
 # on regression. allocs/op and B/op carry the strict 10% gate — they are
 # exactly reproducible, so any excursion is a real code change. The ns/op
-# tolerance is 25% while the tracked baseline's ns rows are still wall-clock
-# recordings (wall ≈ CPU only when the host was quiet); the next
-# bench-baseline re-record puts both sides on CPU time.
+# tolerance is 25% to absorb shared-host noise; the tracked baseline's ns
+# rows are CPU-time recordings since the checkpoint PR's re-record, so both
+# sides of the diff now measure the same clock.
 bench-diff:
 	$(GO) run ./cmd/maficbench -out BENCH_current.json -diff BENCH_baseline.json -tolerance 0.25
 
@@ -84,6 +85,15 @@ search-smoke:
 chaos-smoke:
 	$(GO) test -race -count=1 ./internal/experiment \
 		-run 'TestGoldenScenarios/(flap-core|partition-heal|lossy-control)|TestChaosScenariosRun'
+
+# crash-smoke is the kill-and-resume gate: every catalog scenario (chaos
+# entries included) is snapshotted mid-run and resumed under the race
+# detector, and the resumed result must be bit-identical to the
+# uninterrupted run — mid-fault-window snapshots too. A failure means live
+# state stopped round-tripping through the snapshot format.
+crash-smoke:
+	$(GO) test -race -count=1 ./internal/experiment \
+		-run 'TestKillAndResumeEquivalence|TestCheckpointUnderActiveFaults|TestRestoreThenReuseInvariance'
 
 # profile runs the headline benchmark under the CPU and allocation profilers
 # so the next hotspot hunt starts from `go tool pprof cpu.pprof` instead of

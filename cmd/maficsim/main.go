@@ -15,6 +15,8 @@
 //	maficsim -pd 0.7 -flows 100       # lower drop probability, heavier traffic
 //	maficsim -defense proportional    # the non-adaptive baseline for comparison
 //	maficsim -json                    # machine-readable output
+//	maficsim -checkpoint-every 500ms  # snapshot the live run twice per simulated second
+//	maficsim -resume checkpoint-500ms.snap  # resume a snapshot; bit-identical to the uninterrupted run
 package main
 
 import (
@@ -52,9 +54,30 @@ func run(args []string, out *os.File) error {
 		defense  = fs.String("defense", "mafic", "defense: mafic, proportional, or none")
 		asJSON   = fs.Bool("json", false, "print the full result as JSON")
 		series   = fs.Bool("series", false, "include the victim bandwidth time series in JSON output")
+
+		ckptEvery = fs.Duration("checkpoint-every", 0, "write a snapshot every interval of simulated time (e.g. 500ms)")
+		ckptAt    = fs.Duration("checkpoint-at", 0, "write one snapshot at this simulated time (e.g. 850ms)")
+		ckptOut   = fs.String("checkpoint-out", "checkpoint", "snapshot filename prefix; files are written as <prefix>-<t>ms.snap")
+		resume    = fs.String("resume", "", "resume from a snapshot file instead of starting a run (other flags are ignored)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *resume != "" {
+		if *scenario != "" || *ckptEvery != 0 || *ckptAt != 0 {
+			return fmt.Errorf("-resume replays a snapshot; it cannot be combined with -scenario or checkpoint flags")
+		}
+		data, err := os.ReadFile(*resume)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		res, err := experiment.RunFromSnapshot(data)
+		if err != nil {
+			return err
+		}
+		return printResult(out, res, time.Since(start), *asJSON, *series)
 	}
 
 	if *list {
@@ -126,15 +149,60 @@ func run(args []string, out *os.File) error {
 		}
 	}
 
-	start := time.Now()
-	res, err := experiment.Run(s)
+	times, err := checkpointTimes(*ckptEvery, *ckptAt, s.Duration)
 	if err != nil {
 		return err
 	}
-	elapsed := time.Since(start)
 
-	if *asJSON {
-		if !*series {
+	start := time.Now()
+	var res experiment.Result
+	if len(times) > 0 {
+		res, err = experiment.RunWithCheckpoints(s, times, func(at sim.Time, data []byte) error {
+			name := fmt.Sprintf("%s-%dms.snap", *ckptOut, at/sim.Millisecond)
+			if werr := os.WriteFile(name, data, 0o644); werr != nil {
+				return werr
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s (%d bytes at t=%v)\n", name, len(data), at)
+			return nil
+		})
+	} else {
+		res, err = experiment.Run(s)
+	}
+	if err != nil {
+		return err
+	}
+	return printResult(out, res, time.Since(start), *asJSON, *series)
+}
+
+// checkpointTimes expands the -checkpoint-every / -checkpoint-at flags into
+// the strictly ascending snapshot schedule RunWithCheckpoints expects.
+func checkpointTimes(every, at time.Duration, duration sim.Time) ([]sim.Time, error) {
+	if every < 0 || at < 0 {
+		return nil, fmt.Errorf("checkpoint times must be positive")
+	}
+	if every != 0 && at != 0 {
+		return nil, fmt.Errorf("use either -checkpoint-every or -checkpoint-at, not both")
+	}
+	if at != 0 {
+		return []sim.Time{sim.FromDuration(at)}, nil
+	}
+	if every == 0 {
+		return nil, nil
+	}
+	step := sim.FromDuration(every)
+	var times []sim.Time
+	for t := step; t < duration; t += step {
+		times = append(times, t)
+	}
+	if len(times) == 0 {
+		return nil, fmt.Errorf("-checkpoint-every %v produces no snapshots within the %v run", every, duration)
+	}
+	return times, nil
+}
+
+func printResult(out *os.File, res experiment.Result, elapsed time.Duration, asJSON, series bool) error {
+	if asJSON {
+		if !series {
 			res.Series = nil
 		}
 		enc := json.NewEncoder(out)

@@ -1,0 +1,164 @@
+package checkpoint
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"mafic/internal/baseline"
+	"mafic/internal/core"
+	"mafic/internal/flowtable"
+	"mafic/internal/loglog"
+	"mafic/internal/metrics"
+	"mafic/internal/netsim"
+	"mafic/internal/pushback"
+	"mafic/internal/sim"
+	"mafic/internal/topology"
+	"mafic/internal/traffic"
+	"mafic/internal/trafficmatrix"
+)
+
+// manifestVersion pins the wire-format version this manifest was written
+// against. Changing any snapshotted struct forces an edit here, and the guard
+// requires the two versions to move together: you cannot grow a watched
+// struct without consciously deciding whether the snapshot layout changed.
+const manifestVersion uint32 = 1
+
+// watchedPackages collects every package's checkpoint-watched types.
+var watchedPackages = []struct {
+	name  string
+	types []any
+}{
+	{"sim", sim.CheckpointTypes},
+	{"netsim", netsim.CheckpointTypes},
+	{"loglog", loglog.CheckpointTypes},
+	{"flowtable", flowtable.CheckpointTypes},
+	{"core", core.CheckpointTypes},
+	{"trafficmatrix", trafficmatrix.CheckpointTypes},
+	{"pushback", pushback.CheckpointTypes},
+	{"metrics", metrics.CheckpointTypes},
+	{"traffic", traffic.CheckpointTypes},
+	{"baseline", baseline.CheckpointTypes},
+	{"topology", topology.CheckpointTypes},
+	{"checkpoint", CheckpointTypes},
+}
+
+// fieldManifest pins the exact field list of every watched struct. A field
+// added, removed or renamed anywhere in the live-state surface fails the
+// guard until this manifest — and, when the snapshot layout is affected,
+// SnapshotVersion — is updated deliberately. The test failure message prints
+// the corrected entry to paste here.
+var fieldManifest = map[string][]string{
+	"baseline.Dropper":          {"active", "observer", "probability", "rng", "router", "stats", "victimIP"},
+	"baseline.Stats":            {"Dropped", "Examined", "Forwarded"},
+	"checkpoint.EventState":     {"At", "Index", "Kind", "Packet", "Probe", "Report", "Seq"},
+	"checkpoint.NodeState":      {"H", "ID", "R", "Router"},
+	"checkpoint.ProbeRec":       {"Def", "State"},
+	"checkpoint.RunFlags":       {"ATRCount", "Activated", "ActivationSeconds", "DetectedByPushback"},
+	"checkpoint.Snapshot":       {"BuildSeq", "Collector", "Coordinator", "DefKind", "Defenders", "Droppers", "Events", "Flags", "Flows", "Links", "Monitor", "Network", "NextSeq", "Nodes", "Now", "ProbeRecs", "Processed", "Scenario", "Streams", "Victims"},
+	"checkpoint.StreamState":    {"Draws", "Seed"},
+	"checkpoint.World":          {"Baseline", "BuildSeq", "Collector", "Coordinator", "Flags", "MAFIC", "Monitor", "Net", "RNG", "Sched", "Workload"},
+	"core.Defender":             {"active", "cfg", "observer", "probeChunks", "probeFree", "probeMemory", "probeSend", "probeSeqs", "rng", "router", "stats", "tables", "victimIP", "windowEnd"},
+	"core.Stats":                {"Dropped", "DroppedIllegal", "DroppedPDT", "DroppedProbing", "Examined", "FlowsCondemned", "FlowsIllegal", "FlowsNice", "FlowsProbed", "FlowsRepeatCondemned", "FlowsReprobed", "Forwarded", "ProbesSent"},
+	"core.probeRecord":          {"entry", "gen", "label", "next", "proto", "seq"},
+	"flowtable.Entry":           {"BaselineCount", "Dropped", "FirstSeen", "Gen", "LabelHash", "LastSeen", "Packets", "ProbeDeadline", "ProbeStart", "ResponseCount", "State"},
+	"flowtable.Tables":          {"capacity", "evictions", "free", "nft", "pdt", "sft", "slab", "transitions"},
+	"loglog.Pair":               {"active", "shadow"},
+	"loglog.Sketch":             {"adds", "buckets", "m", "p"},
+	"metrics.BandwidthPoint":    {"AttackPackets", "Bytes", "LegitPackets", "Time"},
+	"metrics.Collector":         {"activated", "activationAt", "atrAttackPost", "atrAttackPre", "atrLegitPost", "atrLegitPre", "binWidth", "bins", "dropAttack", "dropAttackPDT", "dropLegitIllegal", "dropLegitPDT", "dropLegitProbing", "faultDrops", "queueDrops", "tap", "victimAttackPost", "victimAttackPre", "victimLegitPost", "victimLegitPre"},
+	"metrics.Counts":            {"ATRAttackPost", "ATRAttackPre", "ATRLegitPost", "ATRLegitPre", "DropAttack", "DropAttackPDT", "DropLegitIllegal", "DropLegitPDT", "DropLegitProbing", "FaultDrops", "QueueDrops", "VictimAttack", "VictimAttackPre", "VictimLegit", "VictimLegitPre"},
+	"netsim.Host":               {"accessRouter", "defaultHandler", "homeCount", "homeLinks", "homeRouters", "id", "ips", "nHandlers", "name", "net", "received", "sent"},
+	"netsim.Link":               {"cfg", "down", "dropped", "faultDrops", "from", "net", "nextFree", "queued", "sent", "to"},
+	"netsim.Network":            {"adj", "adjEntrySlab", "adjMode", "adjSlab", "colEntries", "colsMaterialized", "downLinks", "downRouters", "faultDrops", "filterSlab", "handlers", "hooks", "hostSlab", "hostUsed", "hosts", "ipOwner", "ipSlab", "linkSlab", "linkUsed", "links", "nextNodeID", "nextPktID", "nodes", "pktFree", "resolver", "rng", "routeCols", "routeSlab", "routerSlab", "routerUsed", "routers", "scheduler", "sizeHint", "sparse", "topoVersion"},
+	"netsim.Packet":             {"FlowID", "Hops", "ID", "Kind", "Label", "Malicious", "Proto", "SentAt", "Seq", "Size", "dstNode", "dstNodeOK", "flowHash", "freed", "hashOK", "pooled"},
+	"netsim.Router":             {"down", "dropped", "faultDrops", "filters", "forwarded", "id", "name", "net", "routeCount", "routes"},
+	"pushback.ATR":              {"Packets", "Router", "Share"},
+	"pushback.Coordinator":      {"active", "activeVictim", "atrScore", "calmEpochs", "cellScratch", "cfg", "eligible", "history", "historyAlpha", "historyOK", "historySeen", "identified", "identifiedATR", "lastEpoch", "lastFireEpoch", "onPushback", "onWithdraw", "pendingRefire", "requestsFired", "shareScratch", "triggerLoad"},
+	"pushback.Request":          {"ATRs", "Epoch", "VictimLoad", "VictimRouter"},
+	"sim.RNG":                   {"cs", "r", "reg"},
+	"sim.Scheduler":             {"backend", "cal", "events", "freeHead", "heap", "now", "processed", "seq", "stopped"},
+	"sim.countingSource":        {"draws", "seed", "src"},
+	"sim.event":                 {"ah", "arg", "at", "fn", "gen", "h", "nextFree", "seq", "state"},
+	"topology.Arena":            {"bystanders", "clients", "extraVictims", "ingress", "ingressOf", "lazy", "names", "route", "routers", "victimHomes", "zombies"},
+	"topology.Domain":           {"Bystanders", "Clients", "ExtraVictims", "Ingress", "LastHop", "Net", "Routers", "Victim", "VictimHomes", "Zombies", "ingressOf"},
+	"topology.lazyRouter":       {"carved", "colFree", "handed", "net", "rs", "seenVersion", "width"},
+	"topology.nameCache":        {"bystanders", "clients", "routers", "victims", "zombies"},
+	"topology.routeScratch":     {"offsets", "parents", "queue", "routerList", "targets"},
+	"traffic.AttackSource":      {"cbr"},
+	"traffic.CBRSource":         {"cfg", "host", "id", "label", "labelHash", "malicious", "net", "proto", "rng", "running", "sendEvent", "sent", "seq"},
+	"traffic.PulsingSource":     {"bursts", "cfg", "end", "host", "id", "inBurst", "label", "labelHash", "net", "phase", "phaseEvent", "rng", "running", "sendEvent", "sent", "seq"},
+	"traffic.RotatingSource":    {"cfg", "end", "host", "id", "inSlot", "label", "labelHash", "net", "phase", "phaseEvent", "rng", "running", "sendEvent", "sent", "seq", "slots"},
+	"traffic.TCPSource":         {"acked", "cfg", "cwnd", "dupAcks", "fastRetx", "host", "id", "label", "labelHash", "lastAckAt", "lastAcked", "net", "packetSize", "probeSeen", "reverseFn", "running", "sendEvent", "sent", "seq", "ssthresh", "timeouts"},
+	"traffic.VictimServer":      {"ackSize", "acksGenerated", "host", "net", "received", "receivedBad", "receivedGood"},
+	"traffic.Workload":          {"Attack", "ExtraServers", "Flash", "Flows", "Legitimate", "Victim"},
+	"traffic.pulseEnd":          {"s"},
+	"traffic.pulsePhase":        {"s"},
+	"traffic.rotateEnd":         {"s"},
+	"traffic.rotatePhase":       {"s"},
+	"trafficmatrix.Cell":        {"Dest", "Packets", "Source"},
+	"trafficmatrix.Counter":     {"buckets", "dest", "destPkts", "router", "source", "sourcePkts", "transit"},
+	"trafficmatrix.EpochReport": {"DestEst", "End", "Epoch", "Matrix", "Routers", "SourceEst", "Start"},
+	"trafficmatrix.Monitor":     {"buckets", "counterSlab", "counters", "ctrlRNG", "delayProb", "dstEst", "epoch", "epochIndex", "epochStart", "fresh", "matrix", "nbScratch", "onReport", "reportDelay", "reportLoss", "routerIDs", "running", "sched", "scratch", "sketchSlab", "srcEst", "stop"},
+}
+
+// TestStateCoverageGuard fails whenever a watched struct's field set drifts
+// from the pinned manifest, forcing every new piece of live state through an
+// explicit decision: serialize it, prove it rebuild-covered, or exempt it.
+func TestStateCoverageGuard(t *testing.T) {
+	if manifestVersion != SnapshotVersion {
+		t.Fatalf("manifest written for snapshot version %d, code is at %d — re-audit the manifest after a format change",
+			manifestVersion, SnapshotVersion)
+	}
+	seen := make(map[string]bool)
+	for _, p := range watchedPackages {
+		if len(p.types) == 0 {
+			t.Errorf("package %s registers no checkpoint types", p.name)
+		}
+		for _, v := range p.types {
+			rt := reflect.TypeOf(v)
+			if rt.Kind() != reflect.Struct {
+				t.Errorf("%s: CheckpointTypes entry %v is not a struct", p.name, rt)
+				continue
+			}
+			key := p.name + "." + rt.Name()
+			if seen[key] {
+				t.Errorf("duplicate watched type %s", key)
+				continue
+			}
+			seen[key] = true
+			got := make([]string, 0, rt.NumField())
+			for i := 0; i < rt.NumField(); i++ {
+				got = append(got, rt.Field(i).Name)
+			}
+			sort.Strings(got)
+			want, ok := fieldManifest[key]
+			if !ok {
+				t.Errorf("unpinned type %s — decide snapshot coverage for every field, bump SnapshotVersion if the wire format changed, then add:\n\t%s",
+					key, manifestEntry(key, got))
+				continue
+			}
+			want = append([]string(nil), want...)
+			sort.Strings(want)
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("fields of %s drifted from the manifest.\n  pinned: %v\n  actual: %v\nDecide snapshot coverage for the changed fields, bump SnapshotVersion if the wire format changed, then update the entry to:\n\t%s",
+					key, want, got, manifestEntry(key, got))
+			}
+		}
+	}
+	for key := range fieldManifest {
+		if !seen[key] {
+			t.Errorf("manifest pins %s but no package registers it — remove the stale entry", key)
+		}
+	}
+}
+
+func manifestEntry(key string, fields []string) string {
+	quoted := make([]string, len(fields))
+	for i, f := range fields {
+		quoted[i] = fmt.Sprintf("%q", f)
+	}
+	return fmt.Sprintf("%q: {%s},", key, strings.Join(quoted, ", "))
+}

@@ -1,0 +1,52 @@
+package experiment
+
+import (
+	"testing"
+
+	"mafic/internal/checkpoint"
+	"mafic/internal/sim"
+)
+
+// FuzzSnapshotDecode lives in this package (not internal/checkpoint) because
+// seeding the corpus with real snapshots needs the experiment build path, and
+// checkpoint cannot import experiment. The decoder's contract under fuzzing:
+// arbitrary, truncated or bit-flipped input returns a clean error — never a
+// panic, and never an allocation larger than the input could justify (the
+// reader's count() bounds every preallocation by the remaining payload).
+func FuzzSnapshotDecode(f *testing.F) {
+	for _, name := range []string{"table2", "flap-core"} {
+		e, ok := LookupScenario(name)
+		if !ok {
+			continue
+		}
+		s := Quick(e.Build())
+		var data []byte
+		if _, err := RunWithCheckpoints(s, []sim.Time{s.Duration / 2}, func(_ sim.Time, d []byte) error {
+			data = d
+			return nil
+		}); err != nil {
+			f.Fatalf("seed snapshot for %s: %v", name, err)
+		}
+		f.Add(data)
+		f.Add(data[:len(data)/2])
+		f.Add(data[:len(data)/3])
+		flipped := append([]byte(nil), data...)
+		flipped[len(flipped)/2] ^= 0xff
+		f.Add(flipped)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("MAFICSNP"))
+	f.Add([]byte("MAFICSNP\x01\x00\x00\x00"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, err := checkpoint.Decode(data)
+		if err != nil {
+			return
+		}
+		// A successfully decoded snapshot must survive a re-encode cycle:
+		// Encode must not panic on it and its output must decode cleanly.
+		if _, err := checkpoint.Decode(checkpoint.Encode(snap)); err != nil {
+			t.Fatalf("re-encoded snapshot fails to decode: %v", err)
+		}
+	})
+}

@@ -1,9 +1,11 @@
 package experiment
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"mafic/internal/baseline"
+	"mafic/internal/checkpoint"
 	"mafic/internal/core"
 	"mafic/internal/flowtable"
 	"mafic/internal/metrics"
@@ -54,7 +56,7 @@ func putScheduler(sched *sim.Scheduler) {
 	schedPools[sched.Backend()].Put(sched)
 }
 
-// runScratch holds the run-scoped lookup tables runWith rebuilds for every
+// runScratch holds the run-scoped lookup tables buildRun rebuilds for every
 // scenario: the per-defender dispatch maps and the ground-truth label sets.
 // Pooling them removes the last ROADMAP-named construction-time allocations
 // (the per-defender map headers) from the sweep hot path — cleared maps keep
@@ -65,6 +67,8 @@ type runScratch struct {
 	ingressIDs    []netsim.NodeID
 	legitLabels   map[uint64]bool
 	attackLabels  map[uint64]bool
+	mafic         []*core.Defender
+	droppers      []*baseline.Dropper
 }
 
 var scratchPool = pool.FreeList[runScratch]{Cap: resourcePoolCap}
@@ -84,7 +88,27 @@ func getScratch() *runScratch {
 	clear(s.legitLabels)
 	clear(s.attackLabels)
 	s.ingressIDs = s.ingressIDs[:0]
+	s.mafic = s.mafic[:0]
+	s.droppers = s.droppers[:0]
 	return s
+}
+
+// builtRun is a fully built scenario that has not finished running yet: the
+// checkpoint layer snapshots and restores between buildRun and finish.
+type builtRun struct {
+	s           Scenario
+	sched       *sim.Scheduler
+	rng         *sim.RNG
+	domain      *topology.Domain
+	workload    *traffic.Workload
+	collector   *metrics.Collector
+	coordinator *pushback.Coordinator
+	monitor     *trafficmatrix.Monitor
+	scratch     *runScratch
+	// buildSeq is the scheduler sequence number at the build/run boundary;
+	// see checkpoint.World.
+	buildSeq uint64
+	result   Result
 }
 
 // Run executes one scenario and returns its metrics.
@@ -105,23 +129,168 @@ func runWith(s Scenario, arena *topology.Arena) (Result, error) {
 	if err := s.Validate(); err != nil {
 		return Result{}, err
 	}
+	sched := getScheduler(s.Scheduler)
+	defer putScheduler(sched)
+	b, err := buildRun(s, arena, sched)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := sched.RunUntil(s.Duration); err != nil {
+		// The deferred putScheduler resets the scheduler, so no event can
+		// fire after this point and the pooled objects are safe to recycle
+		// even though the run aborted.
+		b.abort()
+		return Result{}, fmt.Errorf("run: %w", err)
+	}
+	return b.finish()
+}
+
+// RunWithCheckpoints executes one scenario, pausing at each of the given
+// virtual times (which must be ascending and inside (0, Duration)) to take a
+// snapshot and hand its encoded bytes to save. The run's result is
+// bit-identical to an uninterrupted Run: a snapshot is a pure read.
+func RunWithCheckpoints(s Scenario, times []sim.Time, save func(at sim.Time, data []byte) error) (Result, error) {
+	if err := s.Validate(); err != nil {
+		return Result{}, err
+	}
+	for i, t := range times {
+		if t <= 0 || t >= s.Duration {
+			return Result{}, fmt.Errorf("%w: checkpoint time %v outside (0, %v)", ErrScenario, t, s.Duration)
+		}
+		if i > 0 && t <= times[i-1] {
+			return Result{}, fmt.Errorf("%w: checkpoint times must be strictly ascending", ErrScenario)
+		}
+	}
+	arena := arenaPool.Get()
+	if arena == nil {
+		arena = topology.NewArena()
+	}
+	defer arenaPool.Put(arena)
+	sched := getScheduler(s.Scheduler)
+	defer putScheduler(sched)
+	b, err := buildRun(s, arena, sched)
+	if err != nil {
+		return Result{}, err
+	}
+	for _, t := range times {
+		if err := sched.RunUntil(t); err != nil {
+			b.abort()
+			return Result{}, fmt.Errorf("run: %w", err)
+		}
+		data, err := b.snapshot()
+		if err != nil {
+			b.abort()
+			return Result{}, err
+		}
+		if err := save(t, data); err != nil {
+			b.abort()
+			return Result{}, fmt.Errorf("save checkpoint at %v: %w", t, err)
+		}
+	}
+	if err := sched.RunUntil(s.Duration); err != nil {
+		b.abort()
+		return Result{}, fmt.Errorf("run: %w", err)
+	}
+	return b.finish()
+}
+
+// RunFromSnapshot decodes a snapshot, rebuilds its scenario deterministically,
+// overlays the captured state and runs the remainder of the scenario. The
+// returned result is bit-identical to the uninterrupted run's (the
+// crash-recovery suite pins this for every catalog scenario).
+func RunFromSnapshot(data []byte) (Result, error) {
+	snap, err := checkpoint.Decode(data)
+	if err != nil {
+		return Result{}, err
+	}
+	var s Scenario
+	if err := json.Unmarshal(snap.Scenario, &s); err != nil {
+		return Result{}, fmt.Errorf("decode snapshot scenario: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return Result{}, err
+	}
+	arena := arenaPool.Get()
+	if arena == nil {
+		arena = topology.NewArena()
+	}
+	defer arenaPool.Put(arena)
+	sched := getScheduler(s.Scheduler)
+	defer putScheduler(sched)
+	b, err := buildRun(s, arena, sched)
+	if err != nil {
+		return Result{}, err
+	}
+	w := b.world()
+	if err := checkpoint.Restore(w, snap); err != nil {
+		b.abort()
+		return Result{}, err
+	}
+	b.result.Activated = w.Flags.Activated
+	b.result.ActivationSeconds = w.Flags.ActivationSeconds
+	b.result.DetectedByPushback = w.Flags.DetectedByPushback
+	b.result.ATRCount = int(w.Flags.ATRCount)
+	if err := sched.RunUntil(s.Duration); err != nil {
+		b.abort()
+		return Result{}, fmt.Errorf("run: %w", err)
+	}
+	return b.finish()
+}
+
+// world assembles the checkpoint bridge over the built run.
+func (b *builtRun) world() *checkpoint.World {
+	return &checkpoint.World{
+		Sched:       b.sched,
+		RNG:         b.rng,
+		Net:         b.domain.Net,
+		Workload:    b.workload,
+		Monitor:     b.monitor,
+		Coordinator: b.coordinator,
+		Collector:   b.collector,
+		MAFIC:       b.scratch.mafic,
+		Baseline:    b.scratch.droppers,
+		BuildSeq:    b.buildSeq,
+		Flags: checkpoint.RunFlags{
+			Activated:          b.result.Activated,
+			ActivationSeconds:  b.result.ActivationSeconds,
+			DetectedByPushback: b.result.DetectedByPushback,
+			ATRCount:           int64(b.result.ATRCount),
+		},
+	}
+}
+
+// snapshot captures and encodes the run's current state.
+func (b *builtRun) snapshot() ([]byte, error) {
+	scenarioJSON, err := json.Marshal(b.s)
+	if err != nil {
+		return nil, fmt.Errorf("encode scenario: %w", err)
+	}
+	snap, err := checkpoint.Capture(b.world(), scenarioJSON)
+	if err != nil {
+		return nil, err
+	}
+	return checkpoint.Encode(snap), nil
+}
+
+// buildRun constructs every component of a scenario run — topology, workload,
+// faults, measurement, detection, defence — schedules the build-time events,
+// and records the build/run sequence boundary. It does not advance the clock.
+func buildRun(s Scenario, arena *topology.Arena, sched *sim.Scheduler) (*builtRun, error) {
 	if arena == nil {
 		arena = topology.NewArena()
 	}
 	rng := sim.NewRNG(s.Seed)
-	sched := getScheduler(s.Scheduler)
-	defer putScheduler(sched)
 
 	domain, err := arena.Build(s.Topology, sched, rng.Fork())
 	if err != nil {
-		return Result{}, fmt.Errorf("build topology: %w", err)
+		return nil, fmt.Errorf("build topology: %w", err)
 	}
 	workload, err := traffic.BuildWorkload(s.Workload, domain, rng.Fork())
 	if err != nil {
-		return Result{}, fmt.Errorf("build workload: %w", err)
+		return nil, fmt.Errorf("build workload: %w", err)
 	}
 	if err := installFaults(s.Faults, domain, sched); err != nil {
-		return Result{}, err
+		return nil, err
 	}
 
 	collector := metrics.NewCollector(s.BinWidth)
@@ -131,24 +300,27 @@ func runWith(s Scenario, arena *topology.Arena) (Result, error) {
 		collector.TapRouter(ing, domain.VictimIP())
 	}
 
-	// Measurement layer (set-union counting) on every router. The monitor
-	// is created before the defence filters so counters observe arrivals
-	// before any dropping, mirroring the NS-2 setup where LogLogCounter
-	// sits at the head of each link.
-	var coordinator *pushback.Coordinator
-	result := Result{
-		Name:       s.Name,
-		Pd:         s.MAFIC.DropProbability,
-		Volume:     s.Workload.TotalFlows,
-		TCPShare:   s.Workload.TCPShare,
-		AttackRate: s.Workload.AttackRate,
-		Routers:    s.Topology.NumRouters,
-		Defense:    s.Defense.String(),
+	b := &builtRun{
+		s:         s,
+		sched:     sched,
+		rng:       rng,
+		domain:    domain,
+		workload:  workload,
+		collector: collector,
+		result: Result{
+			Name:       s.Name,
+			Pd:         s.MAFIC.DropProbability,
+			Volume:     s.Workload.TotalFlows,
+			TCPShare:   s.Workload.TCPShare,
+			AttackRate: s.Workload.AttackRate,
+			Routers:    s.Topology.NumRouters,
+			Defense:    s.Defense.String(),
+		},
 	}
 
 	// Per-ingress defences, dispatched through pooled run-scoped tables.
 	scratch := getScratch()
-	defer scratchPool.Put(scratch)
+	b.scratch = scratch
 	defByRouter := scratch.defByRouter
 	maficByRouter := scratch.maficByRouter
 	switch s.Defense {
@@ -156,11 +328,13 @@ func runWith(s Scenario, arena *topology.Arena) (Result, error) {
 		for _, ing := range domain.Ingress {
 			d, derr := core.NewDefender(s.MAFIC, ing, rng.Fork())
 			if derr != nil {
-				return Result{}, fmt.Errorf("defender on %s: %w", ing.Name(), derr)
+				scratchPool.Put(scratch)
+				return nil, fmt.Errorf("defender on %s: %w", ing.Name(), derr)
 			}
 			d.SetDropObserver(collector.ObserveMAFICDrop)
 			defByRouter[ing.ID()] = d
 			maficByRouter[ing.ID()] = d
+			scratch.mafic = append(scratch.mafic, d)
 		}
 	case DefenseBaseline:
 		p := s.BaselineDropProbability
@@ -170,10 +344,12 @@ func runWith(s Scenario, arena *topology.Arena) (Result, error) {
 		for _, ing := range domain.Ingress {
 			d, derr := baseline.NewDropper(p, ing, rng.Fork())
 			if derr != nil {
-				return Result{}, fmt.Errorf("baseline on %s: %w", ing.Name(), derr)
+				scratchPool.Put(scratch)
+				return nil, fmt.Errorf("baseline on %s: %w", ing.Name(), derr)
 			}
 			d.SetDropObserver(collector.ObserveBaselineDrop)
 			defByRouter[ing.ID()] = d
+			scratch.droppers = append(scratch.droppers, d)
 		}
 	case DefenseNone:
 		// No defence: the run measures the undefended system.
@@ -185,16 +361,16 @@ func runWith(s Scenario, arena *topology.Arena) (Result, error) {
 		}
 		if _, already := collector.Activated(); !already {
 			collector.MarkActivation(now)
-			result.Activated = true
-			result.ActivationSeconds = now.Seconds()
-			result.DetectedByPushback = byPushback
+			b.result.Activated = true
+			b.result.ActivationSeconds = now.Seconds()
+			b.result.DetectedByPushback = byPushback
 		}
 		for _, id := range routers {
 			if d, ok := defByRouter[id]; ok {
 				d.Activate(domain.VictimIP())
 			}
 		}
-		result.ATRCount = len(routers)
+		b.result.ATRCount = len(routers)
 	}
 
 	ingressIDs := scratch.ingressIDs
@@ -205,7 +381,7 @@ func runWith(s Scenario, arena *topology.Arena) (Result, error) {
 
 	pbCfg := s.Pushback
 	pbCfg.Eligible = ingressIDs
-	coordinator = pushback.NewCoordinator(pbCfg,
+	b.coordinator = pushback.NewCoordinator(pbCfg,
 		func(req pushback.Request) {
 			atrs := make([]netsim.NodeID, 0, len(req.ATRs))
 			for _, a := range req.ATRs {
@@ -230,10 +406,11 @@ func runWith(s Scenario, arena *topology.Arena) (Result, error) {
 		monCfg.ReportDelayProb = s.Faults.ReportDelayProb
 		monCfg.ReportDelay = s.Faults.ReportDelay
 	}
-	monitor, err := trafficmatrix.NewMonitor(domain.Net, monCfg, coordinator.HandleReport)
+	b.monitor, err = trafficmatrix.NewMonitor(domain.Net, monCfg, b.coordinator.HandleReport)
 	if err != nil {
-		coordinator.Release()
-		return Result{}, fmt.Errorf("traffic monitor: %w", err)
+		b.coordinator.Release()
+		scratchPool.Put(scratch)
+		return nil, fmt.Errorf("traffic monitor: %w", err)
 	}
 
 	// The defence filters attach after the taps and counters so drops are
@@ -252,7 +429,7 @@ func runWith(s Scenario, arena *topology.Arena) (Result, error) {
 		}
 	}
 
-	monitor.Start()
+	b.monitor.Start()
 	workload.StartAll(s.Workload, rng.Fork())
 
 	// Fallback activation covers scenarios where the detection layer is
@@ -267,74 +444,86 @@ func runWith(s Scenario, arena *topology.Arena) (Result, error) {
 		})
 	}
 
-	if err := sched.RunUntil(s.Duration); err != nil {
-		// The deferred putScheduler resets the scheduler, so no event can
-		// fire after this point and the pooled objects are safe to recycle
-		// even though the run aborted.
-		monitor.Release()
-		coordinator.Release()
-		workload.Release()
-		return Result{}, fmt.Errorf("run: %w", err)
-	}
-	monitor.Stop()
-	workload.StopAll()
+	b.buildSeq = sched.Seq()
+	return b, nil
+}
+
+// abort releases the built run's pooled components after a failed run. The
+// caller is responsible for resetting the scheduler (the Run family does it
+// through the deferred putScheduler), which guarantees no released object can
+// be dispatched to afterwards.
+func (b *builtRun) abort() {
+	b.monitor.Release()
+	b.coordinator.Release()
+	b.workload.Release()
+	scratchPool.Put(b.scratch)
+}
+
+// finish stops the measurement and traffic layers, extracts every metric into
+// the result, and releases the pooled engine objects.
+func (b *builtRun) finish() (Result, error) {
+	s := b.s
+	b.monitor.Stop()
+	b.workload.StopAll()
 
 	// Headline metrics.
-	result.Accuracy = collector.Accuracy()
-	result.FalsePositiveRate = collector.FalsePositiveRate()
-	result.FalseNegativeRate = collector.FalseNegativeRate()
-	result.LegitimateDropRate = collector.LegitimateDropRate()
-	result.TrafficReduction = collector.TrafficReduction(s.ReductionWindow)
-	result.Counts = collector.Counts()
-	result.Series = collector.Series()
-	result.EventsProcessed = sched.Processed()
+	collector := b.collector
+	b.result.Accuracy = collector.Accuracy()
+	b.result.FalsePositiveRate = collector.FalsePositiveRate()
+	b.result.FalseNegativeRate = collector.FalseNegativeRate()
+	b.result.LegitimateDropRate = collector.LegitimateDropRate()
+	b.result.TrafficReduction = collector.TrafficReduction(s.ReductionWindow)
+	b.result.Counts = collector.Counts()
+	b.result.Series = collector.Series()
+	b.result.EventsProcessed = b.sched.Processed()
 
 	// Flow-level outcomes from the defenders' tables.
 	if s.Defense == DefenseMAFIC {
-		legitLabels := scratch.legitLabels
-		attackLabels := scratch.attackLabels
-		for _, f := range workload.Legitimate {
+		legitLabels := b.scratch.legitLabels
+		attackLabels := b.scratch.attackLabels
+		for _, f := range b.workload.Legitimate {
 			legitLabels[f.Label().Hash()] = true
 		}
-		for _, f := range workload.Attack {
+		for _, f := range b.workload.Attack {
 			attackLabels[f.Label().Hash()] = true
 		}
-		for _, d := range maficByRouter {
+		for _, d := range b.scratch.mafic {
 			st := d.Stats()
-			result.DefenseStats.Examined += st.Examined
-			result.DefenseStats.Forwarded += st.Forwarded
-			result.DefenseStats.Dropped += st.Dropped
-			result.DefenseStats.DroppedIllegal += st.DroppedIllegal
-			result.DefenseStats.DroppedPDT += st.DroppedPDT
-			result.DefenseStats.DroppedProbing += st.DroppedProbing
-			result.DefenseStats.ProbesSent += st.ProbesSent
-			result.DefenseStats.FlowsProbed += st.FlowsProbed
-			result.DefenseStats.FlowsNice += st.FlowsNice
-			result.DefenseStats.FlowsCondemned += st.FlowsCondemned
-			result.DefenseStats.FlowsIllegal += st.FlowsIllegal
-			result.DefenseStats.FlowsReprobed += st.FlowsReprobed
-			result.DefenseStats.FlowsRepeatCondemned += st.FlowsRepeatCondemned
+			b.result.DefenseStats.Examined += st.Examined
+			b.result.DefenseStats.Forwarded += st.Forwarded
+			b.result.DefenseStats.Dropped += st.Dropped
+			b.result.DefenseStats.DroppedIllegal += st.DroppedIllegal
+			b.result.DefenseStats.DroppedPDT += st.DroppedPDT
+			b.result.DefenseStats.DroppedProbing += st.DroppedProbing
+			b.result.DefenseStats.ProbesSent += st.ProbesSent
+			b.result.DefenseStats.FlowsProbed += st.FlowsProbed
+			b.result.DefenseStats.FlowsNice += st.FlowsNice
+			b.result.DefenseStats.FlowsCondemned += st.FlowsCondemned
+			b.result.DefenseStats.FlowsIllegal += st.FlowsIllegal
+			b.result.DefenseStats.FlowsReprobed += st.FlowsReprobed
+			b.result.DefenseStats.FlowsRepeatCondemned += st.FlowsRepeatCondemned
 
 			d.Tables().Range(func(hash uint64, state flowtable.State) {
 				switch {
 				case state == flowtable.StatePermanentDrop && legitLabels[hash]:
-					result.LegitFlowsCondemned++
+					b.result.LegitFlowsCondemned++
 				case state == flowtable.StateNice && attackLabels[hash]:
-					result.AttackFlowsForgiven++
+					b.result.AttackFlowsForgiven++
 				}
 			})
 			d.Release()
 		}
-		result.FlowsProbed = int(result.DefenseStats.FlowsProbed)
+		b.result.FlowsProbed = int(b.result.DefenseStats.FlowsProbed)
 	}
 	// Routing is demand-driven: the resident route state at the end of the
 	// run is exactly the set of destinations the scenario's traffic used.
-	result.RouteEntries, result.RouteBytes = domain.Net.RouteStats()
+	b.result.RouteEntries, b.result.RouteBytes = b.domain.Net.RouteStats()
 
 	// All metrics are extracted; pooled engine objects can go back to
 	// their pools for the next run (or the next sweep worker) to reuse.
-	monitor.Release()
-	coordinator.Release()
-	workload.Release()
-	return result, nil
+	b.monitor.Release()
+	b.coordinator.Release()
+	b.workload.Release()
+	scratchPool.Put(b.scratch)
+	return b.result, nil
 }

@@ -1,0 +1,60 @@
+package loglog
+
+import "fmt"
+
+// SketchState is the dynamic state of one sketch. The parameters (bucket
+// count, hash split) are rebuild-covered; only the bucket contents and the
+// add counter travel in a snapshot.
+type SketchState struct {
+	Buckets []uint8
+	Adds    uint64
+}
+
+// CheckpointState captures the sketch's dynamic state.
+func (s *Sketch) CheckpointState() SketchState {
+	st := SketchState{Buckets: make([]uint8, len(s.buckets)), Adds: s.adds}
+	copy(st.Buckets, s.buckets)
+	return st
+}
+
+// RestoreState overlays captured dynamic state onto a rebuilt sketch of the
+// same geometry.
+func (s *Sketch) RestoreState(st SketchState) error {
+	if len(st.Buckets) != len(s.buckets) {
+		return fmt.Errorf("loglog: restore bucket count %d does not match rebuilt sketch %d",
+			len(st.Buckets), len(s.buckets))
+	}
+	copy(s.buckets, st.Buckets)
+	s.adds = st.Adds
+	return nil
+}
+
+// PairState is the dynamic state of a double-buffered pair. Capturing the
+// active and shadow halves by role (rather than by backing-slab position)
+// makes the physical orientation — which slab slot is active after an odd or
+// even number of swaps — irrelevant: the halves are only ever reached through
+// Active and Shadow, so overlaying by role restores identical behaviour.
+type PairState struct {
+	Active SketchState
+	Shadow SketchState
+}
+
+// CheckpointState captures both halves of the pair.
+func (p *Pair) CheckpointState() PairState {
+	return PairState{Active: p.active.CheckpointState(), Shadow: p.shadow.CheckpointState()}
+}
+
+// RestoreState overlays captured state onto a rebuilt pair of the same
+// geometry.
+func (p *Pair) RestoreState(st PairState) error {
+	if err := p.active.RestoreState(st.Active); err != nil {
+		return err
+	}
+	return p.shadow.RestoreState(st.Shadow)
+}
+
+// CheckpointTypes lists this package's structs that carry snapshotted state.
+var CheckpointTypes = []any{
+	Sketch{},
+	Pair{},
+}

@@ -1,0 +1,64 @@
+package metrics
+
+import (
+	"fmt"
+
+	"mafic/internal/sim"
+)
+
+// CollectorState is the collector's dynamic state: the activation record,
+// every raw counter, and the dense bandwidth time series. The bin width and
+// the tap/hook wiring are rebuild-covered.
+type CollectorState struct {
+	Activated    bool
+	ActivationAt sim.Time
+	Counts       Counts
+	Bins         []BandwidthPoint
+}
+
+// CheckpointState captures the collector's dynamic state.
+func (c *Collector) CheckpointState() CollectorState {
+	return CollectorState{
+		Activated:    c.activated,
+		ActivationAt: c.activationAt,
+		Counts:       c.Counts(),
+		Bins:         append([]BandwidthPoint(nil), c.bins...),
+	}
+}
+
+// RestoreState overlays captured dynamic state onto a rebuilt collector. The
+// series keeps its reserved backing when it is large enough.
+func (c *Collector) RestoreState(st CollectorState) error {
+	for i := range st.Bins {
+		if want := sim.Time(i) * c.binWidth; st.Bins[i].Time != want {
+			return fmt.Errorf("metrics: restore bin %d starts at %v, rebuilt bin width implies %v",
+				i, st.Bins[i].Time, want)
+		}
+	}
+	c.activated = st.Activated
+	c.activationAt = st.ActivationAt
+	c.atrLegitPre = st.Counts.ATRLegitPre
+	c.atrLegitPost = st.Counts.ATRLegitPost
+	c.atrAttackPre = st.Counts.ATRAttackPre
+	c.atrAttackPost = st.Counts.ATRAttackPost
+	c.dropLegitProbing = st.Counts.DropLegitProbing
+	c.dropLegitPDT = st.Counts.DropLegitPDT
+	c.dropLegitIllegal = st.Counts.DropLegitIllegal
+	c.dropAttack = st.Counts.DropAttack
+	c.dropAttackPDT = st.Counts.DropAttackPDT
+	c.victimLegitPre = st.Counts.VictimLegitPre
+	c.victimLegitPost = st.Counts.VictimLegit
+	c.victimAttackPre = st.Counts.VictimAttackPre
+	c.victimAttackPost = st.Counts.VictimAttack
+	c.queueDrops = st.Counts.QueueDrops
+	c.faultDrops = st.Counts.FaultDrops
+	c.bins = append(c.bins[:0], st.Bins...)
+	return nil
+}
+
+// CheckpointTypes lists this package's structs that carry snapshotted state.
+var CheckpointTypes = []any{
+	Collector{},
+	BandwidthPoint{},
+	Counts{},
+}

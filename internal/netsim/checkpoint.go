@@ -1,0 +1,255 @@
+package netsim
+
+import (
+	"fmt"
+
+	"mafic/internal/sim"
+)
+
+// This file is the network's checkpoint surface. A snapshot never serializes
+// the graph: the restore path rebuilds the topology deterministically and
+// then overlays the dynamic state captured here — per-link transmitter and
+// queue occupancy, per-node counters, fault flags, the packet-ID allocator
+// and the set of materialized route columns. Fault flags are restored by
+// writing the fields directly rather than through SetDown / FailRouter: the
+// fault API bumps TopoVersion per flip, and the restore must land on the
+// checkpointed version exactly.
+
+// LinkState is the dynamic state of one link.
+type LinkState struct {
+	NextFree   sim.Time
+	Queued     int64
+	Down       bool
+	Sent       uint64
+	Dropped    uint64
+	FaultDrops uint64
+}
+
+// CheckpointState captures the link's dynamic state.
+func (l *Link) CheckpointState() LinkState {
+	return LinkState{
+		NextFree:   l.nextFree,
+		Queued:     int64(l.queued),
+		Down:       l.down,
+		Sent:       l.sent,
+		Dropped:    l.dropped,
+		FaultDrops: l.faultDrops,
+	}
+}
+
+// RestoreState overlays captured dynamic state onto a rebuilt link. The
+// caller finishes with Network.RestoreState, which recounts the network-wide
+// fault bookkeeping from the restored flags.
+func (l *Link) RestoreState(st LinkState) {
+	l.nextFree = st.NextFree
+	l.queued = int(st.Queued)
+	l.down = st.Down
+	l.sent = st.Sent
+	l.dropped = st.Dropped
+	l.faultDrops = st.FaultDrops
+}
+
+// RouterState is the dynamic state of one router.
+type RouterState struct {
+	Down       bool
+	Forwarded  uint64
+	Dropped    uint64
+	FaultDrops uint64
+}
+
+// CheckpointState captures the router's dynamic state. The route table and
+// filter chain are rebuild-covered.
+func (r *Router) CheckpointState() RouterState {
+	return RouterState{
+		Down:       r.down,
+		Forwarded:  r.forwarded,
+		Dropped:    r.dropped,
+		FaultDrops: r.faultDrops,
+	}
+}
+
+// RestoreState overlays captured dynamic state onto a rebuilt router.
+func (r *Router) RestoreState(st RouterState) {
+	r.down = st.Down
+	r.forwarded = st.Forwarded
+	r.dropped = st.Dropped
+	r.faultDrops = st.FaultDrops
+}
+
+// HostState is the dynamic state of one host. Addresses, attachment records
+// and packet handlers are rebuild-covered.
+type HostState struct {
+	Received uint64
+	Sent     uint64
+}
+
+// CheckpointState captures the host's dynamic counters.
+func (h *Host) CheckpointState() HostState {
+	return HostState{Received: h.received, Sent: h.sent}
+}
+
+// RestoreState overlays captured counters onto a rebuilt host.
+func (h *Host) RestoreState(st HostState) {
+	h.received = st.Received
+	h.sent = st.Sent
+}
+
+// ForEachLink visits every link in deterministic order — ascending source
+// node, then ascending target node — identically across the sparse and dense
+// adjacency modes. Checkpoint capture and restore both rely on this order, so
+// a snapshot taken under one mode restores under the other.
+func (n *Network) ForEachLink(fn func(l *Link)) {
+	if n.adjMode == AdjacencySparse {
+		for from := range n.sparse {
+			row := n.sparse[from]
+			for i := range row {
+				fn(row[i].link)
+			}
+		}
+		return
+	}
+	for from := range n.adj {
+		row := n.adj[from]
+		for to := range row {
+			if l := row[to]; l != nil {
+				fn(l)
+			}
+		}
+	}
+}
+
+// LinkTotal reports the number of links in the network.
+func (n *Network) LinkTotal() int { return n.links }
+
+// ForEachNode visits every allocated node in ascending NodeID order; exactly
+// one of r and h is non-nil per call.
+func (n *Network) ForEachNode(fn func(id NodeID, r *Router, h *Host)) {
+	for id := range n.nodes {
+		slot := n.nodes[id]
+		if slot.router != nil || slot.host != nil {
+			fn(NodeID(id), slot.router, slot.host)
+		}
+	}
+}
+
+// NetworkState is the network-level dynamic state. RouteDests lists every
+// node whose route-column slot was materialized at capture time (ascending);
+// the restore replays the materializations after fault state is in place, so
+// the resident routing state — and the RouteStats the final Result reports —
+// reproduces exactly.
+type NetworkState struct {
+	NextPktID   uint64
+	TopoVersion uint64
+	FaultDrops  uint64
+	RouteDests  []NodeID
+}
+
+// CheckpointState captures the network-level dynamic state. Per-link and
+// per-node state is captured separately via ForEachLink / ForEachNode.
+func (n *Network) CheckpointState() NetworkState {
+	st := NetworkState{
+		NextPktID:   n.nextPktID,
+		TopoVersion: n.topoVersion,
+		FaultDrops:  n.faultDrops,
+	}
+	for id := range n.routeCols {
+		if n.routeCols[id] != nil {
+			st.RouteDests = append(st.RouteDests, NodeID(id))
+		}
+	}
+	return st
+}
+
+// RestoreState overlays network-level dynamic state onto a rebuilt network.
+// It must run after every link and router has had its own state restored: it
+// recounts the down-link/down-router totals from the restored flags, lands
+// TopoVersion on the checkpointed value, and then rematerializes the
+// captured route columns. Every column currently resident was materialized
+// after the last fault flip (a flip invalidates them all), so replaying the
+// materializations under the restored fault state reproduces the columns the
+// running simulation actually held.
+func (n *Network) RestoreState(st NetworkState) error {
+	n.nextPktID = st.NextPktID
+	n.faultDrops = st.FaultDrops
+	n.downLinks, n.downRouters = 0, 0
+	n.ForEachLink(func(l *Link) {
+		if l.down {
+			n.downLinks++
+		}
+	})
+	for _, r := range n.routers {
+		if r.down {
+			n.downRouters++
+		}
+	}
+	n.topoVersion = st.TopoVersion
+	n.invalidateRouteColumns()
+	for _, dest := range st.RouteDests {
+		if n.materializeColumn(dest) == nil {
+			return fmt.Errorf("netsim: restore could not rematerialize route column for node %d", dest)
+		}
+	}
+	return nil
+}
+
+// CheckpointTypes lists this package's structs that carry snapshotted state.
+// The checkpoint coverage guard reflects over them so a new field cannot ship
+// without either joining the snapshot or being exempted explicitly.
+var CheckpointTypes = []any{
+	Network{},
+	Link{},
+	Router{},
+	Host{},
+	Packet{},
+}
+
+// PacketState is the serializable form of one in-flight packet (the payload
+// of a pending link-arrival event). Only the header and ground-truth fields
+// travel: the flow-hash and destination-owner caches are value-deterministic
+// and are recomputed or restamped on restore.
+type PacketState struct {
+	ID        uint64
+	Label     FlowLabel
+	Kind      int32
+	Proto     int32
+	Seq       int64
+	Size      int64
+	SentAt    int64
+	Hops      int64
+	FlowID    int64
+	Malicious bool
+}
+
+// CapturePacket describes an in-flight packet.
+func CapturePacket(p *Packet) PacketState {
+	return PacketState{
+		ID:        p.ID,
+		Label:     p.Label,
+		Kind:      int32(p.Kind),
+		Proto:     int32(p.Proto),
+		Seq:       p.Seq,
+		Size:      int64(p.Size),
+		SentAt:    p.SentAt,
+		Hops:      int64(p.Hops),
+		FlowID:    int64(p.FlowID),
+		Malicious: p.Malicious,
+	}
+}
+
+// RestorePacket materializes an in-flight packet from the network's pool,
+// for use as the payload of a re-inserted link-arrival event.
+func (n *Network) RestorePacket(st PacketState) *Packet {
+	p := n.NewPacket()
+	p.ID = st.ID
+	p.Label = st.Label
+	p.Kind = PacketKind(st.Kind)
+	p.Proto = Protocol(st.Proto)
+	p.Seq = st.Seq
+	p.Size = int(st.Size)
+	p.SentAt = st.SentAt
+	p.Hops = int(st.Hops)
+	p.FlowID = int(st.FlowID)
+	p.Malicious = st.Malicious
+	p.SetFlowHash(st.Label.Hash())
+	return p
+}

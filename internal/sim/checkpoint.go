@@ -1,0 +1,98 @@
+package sim
+
+// This file is the scheduler's checkpoint surface. A snapshot never
+// serializes the event arena or queue geometry directly: the restore path
+// rebuilds the scenario deterministically (recreating every build-time event
+// with its original sequence number), then uses ReconcilePending to cancel
+// build-time events that had already fired before the snapshot, RestoreEvent
+// to re-insert events that were scheduled at runtime, and RestoreClock to
+// land the clock, sequence counter and processed-event count on the
+// checkpointed values. Queue geometry may differ after a restore, but both
+// backends always dispatch the globally minimal (time, seq) entry, so the
+// difference is unobservable.
+
+// PendingEvent describes one queued event to a checkpoint capture. Exactly
+// one of Closure, ArgH or H identifies the dispatch target; Arg carries the
+// payload when ArgH is set.
+type PendingEvent struct {
+	At      Time
+	Seq     uint64
+	Closure bool // the event dispatches a func literal (build-time only)
+	ArgH    ArgHandler
+	Arg     any
+	H       EventHandler
+}
+
+// Seq reports the sequence number the next scheduled event will receive.
+// Recording it at the build/run boundary lets a checkpoint distinguish
+// build-time events (recreated by rebuilding the scenario) from runtime
+// events (re-inserted explicitly).
+func (s *Scheduler) Seq() uint64 { return s.seq }
+
+// ForEachPending calls fn for every queued, non-cancelled event, in arena
+// order. Callers needing a deterministic order sort by Seq afterwards.
+func (s *Scheduler) ForEachPending(fn func(PendingEvent)) {
+	for i := range s.events {
+		ev := &s.events[i]
+		if ev.state != eventQueued {
+			continue
+		}
+		fn(PendingEvent{
+			At:      ev.at,
+			Seq:     ev.seq,
+			Closure: ev.fn != nil,
+			ArgH:    ev.ah,
+			Arg:     ev.arg,
+			H:       ev.h,
+		})
+	}
+}
+
+// ReconcilePending cancels every queued event whose sequence number is below
+// bound and for which keep reports false. A rebuild schedules every
+// build-time event again; the ones the original run had already dispatched
+// before the snapshot must not fire twice, so the restore cancels them. The
+// queue backends discard cancelled entries silently, without touching the
+// processed-event count.
+func (s *Scheduler) ReconcilePending(bound uint64, keep func(seq uint64) bool) {
+	for i := range s.events {
+		ev := &s.events[i]
+		if ev.state == eventQueued && ev.seq < bound && !keep(ev.seq) {
+			ev.state = eventStopped
+		}
+	}
+}
+
+// RestoreEvent re-inserts a checkpointed event with an explicit dispatch time
+// and sequence number. Unlike the Schedule methods it never clamps at to the
+// current clock and never consumes a sequence number of its own; the caller
+// finishes the restore with RestoreClock.
+func (s *Scheduler) RestoreEvent(at Time, seq uint64, fn Handler, ah ArgHandler, arg any, h EventHandler) EventRef {
+	idx := s.alloc()
+	ev := &s.events[idx]
+	ev.at = at
+	ev.seq = seq
+	ev.fn, ev.ah, ev.arg, ev.h = fn, ah, arg, h
+	ev.state = eventQueued
+	s.push(timedEnt{at: at, seq: seq, idx: idx})
+	return EventRef{s: s, idx: idx, gen: ev.gen}
+}
+
+// RestoreClock force-sets the clock, the next sequence number and the
+// processed-event count to checkpointed values. Every pending event must lie
+// at or after now.
+func (s *Scheduler) RestoreClock(now Time, nextSeq, processed uint64) {
+	s.now = now
+	s.seq = nextSeq
+	s.processed = processed
+}
+
+// CheckpointTypes lists this package's structs that carry snapshotted state.
+// The checkpoint coverage guard reflects over them so a new field cannot ship
+// without either joining the snapshot or being exempted explicitly.
+var CheckpointTypes = []any{
+	Scheduler{},
+	event{},
+	RNG{},
+	countingSource{},
+}

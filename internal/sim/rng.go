@@ -1,27 +1,103 @@
 package sim
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 )
+
+// countingSource wraps the standard library generator and counts every draw
+// so a checkpoint can record how far each stream has advanced. Int63 and
+// Uint64 both advance the underlying generator by exactly one step, so the
+// (seed, draws) pair alone pins the stream state.
+type countingSource struct {
+	src   rand.Source64
+	seed  int64
+	draws uint64
+}
+
+func (c *countingSource) Int63() int64 {
+	c.draws++
+	return c.src.Int63()
+}
+
+func (c *countingSource) Uint64() uint64 {
+	c.draws++
+	return c.src.Uint64()
+}
+
+func (c *countingSource) Seed(seed int64) {
+	c.src.Seed(seed)
+	c.seed = seed
+	c.draws = 0
+}
+
+// rngRegistry tracks every stream forked from one root, in creation order.
+// Rebuilding a scenario deterministically recreates the same streams in the
+// same order, so a checkpoint only needs each stream's seed and draw count.
+type rngRegistry struct {
+	streams []*RNG
+}
 
 // RNG wraps a seeded pseudo-random source with the distributions the traffic
 // generators and the MAFIC dropper need. Each simulation owns exactly one RNG
 // so that a scenario's seed fully determines its outcome.
 type RNG struct {
-	r *rand.Rand
+	r   *rand.Rand
+	cs  countingSource // embedded by value: one allocation per stream, not two
+	reg *rngRegistry
 }
 
-// NewRNG returns a generator seeded with seed.
+// NewRNG returns a generator seeded with seed, rooting a fresh stream
+// registry.
 func NewRNG(seed int64) *RNG {
-	return &RNG{r: rand.New(rand.NewSource(seed))}
+	return newRNGIn(&rngRegistry{}, seed)
+}
+
+func newRNGIn(reg *rngRegistry, seed int64) *RNG {
+	g := &RNG{reg: reg, cs: countingSource{src: rand.NewSource(seed).(rand.Source64), seed: seed}}
+	g.r = rand.New(&g.cs)
+	reg.streams = append(reg.streams, g)
+	return g
 }
 
 // Fork derives an independent generator from this one. Substreams keep
 // component behaviour stable when unrelated components are added or removed
-// from a scenario.
+// from a scenario. The fork joins the parent's stream registry.
 func (g *RNG) Fork() *RNG {
-	return NewRNG(g.r.Int63())
+	return newRNGIn(g.reg, g.r.Int63())
+}
+
+// StreamCount reports how many streams (the root plus every fork, forks of
+// forks included) exist in this generator's registry.
+func (g *RNG) StreamCount() int { return len(g.reg.streams) }
+
+// StreamState returns the seed and draw count of stream i in creation order.
+func (g *RNG) StreamState(i int) (seed int64, draws uint64) {
+	cs := &g.reg.streams[i].cs
+	return cs.seed, cs.draws
+}
+
+// FastForwardStream advances stream i to the checkpointed draw count after
+// verifying that the rebuilt stream matches the snapshot: same seed, and not
+// already past the target. Both conditions fail only when the rebuild
+// diverged from the run that took the snapshot.
+func (g *RNG) FastForwardStream(i int, seed int64, draws uint64) error {
+	if i < 0 || i >= len(g.reg.streams) {
+		return fmt.Errorf("sim: rng stream %d out of range (have %d)", i, len(g.reg.streams))
+	}
+	cs := &g.reg.streams[i].cs
+	if cs.seed != seed {
+		return fmt.Errorf("sim: rng stream %d seed mismatch: rebuilt %d, snapshot %d", i, cs.seed, seed)
+	}
+	if draws < cs.draws {
+		return fmt.Errorf("sim: rng stream %d already at %d draws, snapshot has %d", i, cs.draws, draws)
+	}
+	for cs.draws < draws {
+		cs.src.Uint64()
+		cs.draws++
+	}
+	return nil
 }
 
 // Float64 returns a uniform value in [0,1).

@@ -1,0 +1,16 @@
+package topology
+
+// This package carries no snapshotted state of its own: a Domain and every
+// arena behind it are rebuilt deterministically on restore, and the lazy
+// route resolver re-snapshots itself whenever the network's topology version
+// moves. The types are still registered with the checkpoint coverage guard so
+// a future stateful field cannot ship without an explicit exemption.
+
+// CheckpointTypes lists this package's structs the coverage guard watches.
+var CheckpointTypes = []any{
+	Domain{},
+	Arena{},
+	lazyRouter{},
+	routeScratch{},
+	nameCache{},
+}

@@ -1,0 +1,255 @@
+package traffic
+
+import (
+	"fmt"
+
+	"mafic/internal/sim"
+)
+
+// FlowKind tags the concrete type of a flow in a snapshot, so a restore can
+// verify the deterministic rebuild produced the same flow sequence before
+// overlaying state.
+type FlowKind uint8
+
+// Flow kinds, in the order BuildWorkload can emit them.
+const (
+	FlowTCP FlowKind = iota + 1
+	FlowCBR
+	FlowAttack
+	FlowPulsing
+	FlowRotating
+)
+
+// FlowState is the dynamic state of one flow, a superset across the flow
+// kinds: a TCP source uses the congestion fields, the unresponsive kinds use
+// only the counters and phase flags. Configuration, labels and host bindings
+// are rebuild-covered.
+type FlowState struct {
+	Kind      FlowKind
+	Running   bool
+	InBurst   bool
+	Cwnd      float64
+	Ssthresh  float64
+	Seq       int64
+	LastAcked int64
+	DupAcks   int64
+	LastAckAt sim.Time
+	Sent      uint64
+	Acked     uint64
+	Timeouts  uint64
+	FastRetx  uint64
+	ProbeSeen uint64
+	Bursts    uint64
+}
+
+// CaptureFlowState captures the dynamic state of one flow. Pending send and
+// phase events are captured separately through the scheduler walk; the
+// EventRef fields themselves do not travel (a stale ref is a safe no-op and
+// live ones are re-bound by the restore).
+func CaptureFlowState(f Flow) (FlowState, error) {
+	switch s := f.(type) {
+	case *TCPSource:
+		return FlowState{
+			Kind:      FlowTCP,
+			Running:   s.running,
+			Cwnd:      s.cwnd,
+			Ssthresh:  s.ssthresh,
+			Seq:       s.seq,
+			LastAcked: s.lastAcked,
+			DupAcks:   int64(s.dupAcks),
+			LastAckAt: s.lastAckAt,
+			Sent:      s.sent,
+			Acked:     s.acked,
+			Timeouts:  s.timeouts,
+			FastRetx:  s.fastRetx,
+			ProbeSeen: s.probeSeen,
+		}, nil
+	case *CBRSource:
+		return FlowState{Kind: FlowCBR, Running: s.running, Seq: s.seq, Sent: s.sent}, nil
+	case *AttackSource:
+		return FlowState{Kind: FlowAttack, Running: s.cbr.running, Seq: s.cbr.seq, Sent: s.cbr.sent}, nil
+	case *PulsingSource:
+		return FlowState{
+			Kind: FlowPulsing, Running: s.running, InBurst: s.inBurst,
+			Seq: s.seq, Sent: s.sent, Bursts: s.bursts,
+		}, nil
+	case *RotatingSource:
+		return FlowState{
+			Kind: FlowRotating, Running: s.running, InBurst: s.inSlot,
+			Seq: s.seq, Sent: s.sent, Bursts: s.slots,
+		}, nil
+	default:
+		return FlowState{}, fmt.Errorf("traffic: cannot checkpoint flow of type %T", f)
+	}
+}
+
+// RestoreFlowState overlays captured state onto the corresponding rebuilt
+// flow. The kind tag must match the rebuilt flow's concrete type: a mismatch
+// means the snapshot and the rebuild disagree about the workload.
+func RestoreFlowState(f Flow, st FlowState) error {
+	switch s := f.(type) {
+	case *TCPSource:
+		if st.Kind != FlowTCP {
+			break
+		}
+		s.running = st.Running
+		s.cwnd = st.Cwnd
+		s.ssthresh = st.Ssthresh
+		s.seq = st.Seq
+		s.lastAcked = st.LastAcked
+		s.dupAcks = int(st.DupAcks)
+		s.lastAckAt = st.LastAckAt
+		s.sent = st.Sent
+		s.acked = st.Acked
+		s.timeouts = st.Timeouts
+		s.fastRetx = st.FastRetx
+		s.probeSeen = st.ProbeSeen
+		return nil
+	case *CBRSource:
+		if st.Kind != FlowCBR {
+			break
+		}
+		s.running = st.Running
+		s.seq = st.Seq
+		s.sent = st.Sent
+		return nil
+	case *AttackSource:
+		if st.Kind != FlowAttack {
+			break
+		}
+		s.cbr.running = st.Running
+		s.cbr.seq = st.Seq
+		s.cbr.sent = st.Sent
+		return nil
+	case *PulsingSource:
+		if st.Kind != FlowPulsing {
+			break
+		}
+		s.running = st.Running
+		s.inBurst = st.InBurst
+		s.seq = st.Seq
+		s.sent = st.Sent
+		s.bursts = st.Bursts
+		return nil
+	case *RotatingSource:
+		if st.Kind != FlowRotating {
+			break
+		}
+		s.running = st.Running
+		s.inSlot = st.InBurst
+		s.seq = st.Seq
+		s.sent = st.Sent
+		s.slots = st.Bursts
+		return nil
+	default:
+		return fmt.Errorf("traffic: cannot restore flow of type %T", f)
+	}
+	return fmt.Errorf("traffic: snapshot flow kind %d does not match rebuilt %T", st.Kind, f)
+}
+
+// SendHandler returns the event-handler identity a flow's send timer is
+// scheduled with — the source itself for direct senders, the embedded CBR
+// core for an attack source. Checkpoint capture matches pending events
+// against it; restore re-binds the re-inserted event through SetSendEvent.
+func SendHandler(f Flow) sim.EventHandler {
+	switch s := f.(type) {
+	case *TCPSource:
+		return s
+	case *CBRSource:
+		return s
+	case *AttackSource:
+		return s.cbr
+	case *PulsingSource:
+		return s
+	case *RotatingSource:
+		return s
+	default:
+		return nil
+	}
+}
+
+// PhaseHandlers returns the burst/slot boundary handler identities of a
+// pulsing or rotating flow (phase = begin, end = hand-off), or nils for the
+// kinds without phases.
+func PhaseHandlers(f Flow) (phase, end sim.EventHandler) {
+	switch s := f.(type) {
+	case *PulsingSource:
+		return &s.phase, &s.end
+	case *RotatingSource:
+		return &s.phase, &s.end
+	default:
+		return nil, nil
+	}
+}
+
+// SetSendEvent re-binds a flow's send-timer EventRef after a restore
+// re-inserted the pending event.
+func SetSendEvent(f Flow, ref sim.EventRef) {
+	switch s := f.(type) {
+	case *TCPSource:
+		s.sendEvent = ref
+	case *CBRSource:
+		s.sendEvent = ref
+	case *AttackSource:
+		s.cbr.sendEvent = ref
+	case *PulsingSource:
+		s.sendEvent = ref
+	case *RotatingSource:
+		s.sendEvent = ref
+	}
+}
+
+// SetPhaseEvent re-binds a pulsing or rotating flow's next-phase EventRef
+// after a restore re-inserted the pending event. The end-of-burst event is
+// fire-and-forget (no ref is kept), so only the phase ref needs re-binding.
+func SetPhaseEvent(f Flow, ref sim.EventRef) {
+	switch s := f.(type) {
+	case *PulsingSource:
+		s.phaseEvent = ref
+	case *RotatingSource:
+		s.phaseEvent = ref
+	}
+}
+
+// VictimServerState is the dynamic state of a victim server: its arrival and
+// acknowledgement counters. The host binding and handler wiring are
+// rebuild-covered.
+type VictimServerState struct {
+	Received      uint64
+	ReceivedBad   uint64
+	ReceivedGood  uint64
+	AcksGenerated uint64
+}
+
+// CheckpointState captures the server's counters.
+func (v *VictimServer) CheckpointState() VictimServerState {
+	return VictimServerState{
+		Received:      v.received,
+		ReceivedBad:   v.receivedBad,
+		ReceivedGood:  v.receivedGood,
+		AcksGenerated: v.acksGenerated,
+	}
+}
+
+// RestoreState overlays captured counters onto a rebuilt server.
+func (v *VictimServer) RestoreState(st VictimServerState) {
+	v.received = st.Received
+	v.receivedBad = st.ReceivedBad
+	v.receivedGood = st.ReceivedGood
+	v.acksGenerated = st.AcksGenerated
+}
+
+// CheckpointTypes lists this package's structs that carry snapshotted state.
+var CheckpointTypes = []any{
+	TCPSource{},
+	CBRSource{},
+	AttackSource{},
+	PulsingSource{},
+	RotatingSource{},
+	pulsePhase{},
+	pulseEnd{},
+	rotatePhase{},
+	rotateEnd{},
+	VictimServer{},
+	Workload{},
+}

@@ -57,7 +57,24 @@ type PulsingSource struct {
 	bursts     uint64
 	sendEvent  sim.EventRef
 	phaseEvent sim.EventRef
+
+	// phase and end are the flow's burst-boundary event handlers. They are
+	// addressable struct fields rather than closures so scheduling them
+	// never allocates and a checkpoint can identify a pending phase event
+	// by comparing its handler against &s.phase / &s.end.
+	phase pulsePhase
+	end   pulseEnd
 }
+
+// pulsePhase dispatches the start of an on-phase.
+type pulsePhase struct{ s *PulsingSource }
+
+func (p *pulsePhase) OnEvent(now sim.Time) { p.s.beginBurst(now) }
+
+// pulseEnd dispatches the end of an on-phase.
+type pulseEnd struct{ s *PulsingSource }
+
+func (p *pulseEnd) OnEvent(sim.Time) { p.s.inBurst = false }
 
 var _ Flow = (*PulsingSource)(nil)
 
@@ -76,7 +93,7 @@ func NewPulsingSource(id int, cfg PulsingConfig, zombie *netsim.Host, victim net
 		cfg.DutyCycle = 0.2
 	}
 	label := attackSourceLabel(zombie, victim, srcPort, cfg.Spoof, cfg.SpoofedIP)
-	return &PulsingSource{
+	s := &PulsingSource{
 		id:        id,
 		cfg:       cfg,
 		host:      zombie,
@@ -85,6 +102,9 @@ func NewPulsingSource(id int, cfg PulsingConfig, zombie *netsim.Host, victim net
 		label:     label,
 		labelHash: label.Hash(),
 	}
+	s.phase.s = s
+	s.end.s = s
+	return s
 }
 
 // ID implements Flow.
@@ -116,12 +136,12 @@ func (s *PulsingSource) Start(at sim.Time) {
 		return
 	}
 	s.running = true
-	s.phaseEvent = s.net.Scheduler().ScheduleAt(at, s.beginBurst)
+	s.phaseEvent = s.net.Scheduler().ScheduleHandlerAt(at, &s.phase)
 }
 
 // OnEvent implements sim.EventHandler: the send timer fired. The per-packet
-// path schedules the source itself; the rare per-burst phase events keep
-// their closures.
+// path schedules the source itself; the per-burst phase events go through
+// the phase/end handler fields.
 func (s *PulsingSource) OnEvent(now sim.Time) { s.sendNext(now) }
 
 // Stop implements Flow.
@@ -140,8 +160,8 @@ func (s *PulsingSource) beginBurst(now sim.Time) {
 	s.inBurst = true
 	s.bursts++
 	onTime := sim.Time(float64(s.cfg.Period) * s.cfg.DutyCycle)
-	s.net.Scheduler().ScheduleAt(now+onTime, func(sim.Time) { s.inBurst = false })
-	s.phaseEvent = s.net.Scheduler().ScheduleAt(now+s.cfg.Period, s.beginBurst)
+	s.net.Scheduler().ScheduleHandlerAt(now+onTime, &s.end)
+	s.phaseEvent = s.net.Scheduler().ScheduleHandlerAt(now+s.cfg.Period, &s.phase)
 	// A send gap longer than the off-phase leaves the previous burst's
 	// timer pending into this burst; cancel it so exactly one send chain
 	// is ever live and the rate cannot compound across periods.

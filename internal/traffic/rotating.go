@@ -51,11 +51,24 @@ type RotatingSource struct {
 	sendEvent  sim.EventRef
 	phaseEvent sim.EventRef
 
-	// beginSlotFn and endSlotFn are per-object method/closure values,
-	// materialised once so the per-slot scheduling path never allocates.
-	beginSlotFn sim.Handler
-	endSlotFn   sim.Handler
+	// phase and end are the flow's slot-boundary event handlers. They are
+	// addressable struct fields rather than per-object closures so the
+	// per-slot scheduling path never allocates and a checkpoint can
+	// identify a pending phase event by comparing its handler against
+	// &s.phase / &s.end.
+	phase rotatePhase
+	end   rotateEnd
 }
+
+// rotatePhase dispatches the start of the flow's flooding slot.
+type rotatePhase struct{ s *RotatingSource }
+
+func (p *rotatePhase) OnEvent(now sim.Time) { p.s.beginSlot(now) }
+
+// rotateEnd dispatches the hand-off at the end of the flooding slot.
+type rotateEnd struct{ s *RotatingSource }
+
+func (p *rotateEnd) OnEvent(sim.Time) { p.s.inSlot = false }
 
 var (
 	_ Flow       = (*RotatingSource)(nil)
@@ -86,20 +99,18 @@ func NewRotatingSource(id int, cfg RotatingConfig, zombie *netsim.Host, victim n
 	s := rotatingPool.Get()
 	if s == nil {
 		s = &RotatingSource{}
-		s.beginSlotFn = s.beginSlot
-		s.endSlotFn = func(sim.Time) { s.inSlot = false }
 	}
 	*s = RotatingSource{
-		beginSlotFn: s.beginSlotFn,
-		endSlotFn:   s.endSlotFn,
-		id:          id,
-		cfg:         cfg,
-		host:        zombie,
-		net:         zombie.Network(),
-		rng:         rng,
-		label:       label,
-		labelHash:   label.Hash(),
+		id:        id,
+		cfg:       cfg,
+		host:      zombie,
+		net:       zombie.Network(),
+		rng:       rng,
+		label:     label,
+		labelHash: label.Hash(),
 	}
+	s.phase.s = s
+	s.end.s = s
 	return s
 }
 
@@ -146,7 +157,7 @@ func (s *RotatingSource) Start(at sim.Time) {
 	}
 	s.running = true
 	offset := sim.Time(int64(s.cfg.SlotLength) * int64(s.cfg.Group))
-	s.phaseEvent = s.net.Scheduler().ScheduleAt(at+offset, s.beginSlotFn)
+	s.phaseEvent = s.net.Scheduler().ScheduleHandlerAt(at+offset, &s.phase)
 }
 
 // OnEvent implements sim.EventHandler: the send timer fired.
@@ -169,8 +180,8 @@ func (s *RotatingSource) beginSlot(now sim.Time) {
 	s.inSlot = true
 	s.slots++
 	cycle := sim.Time(int64(s.cfg.SlotLength) * int64(s.cfg.Groups))
-	s.net.Scheduler().ScheduleAt(now+s.cfg.SlotLength, s.endSlotFn)
-	s.phaseEvent = s.net.Scheduler().ScheduleAt(now+cycle, s.beginSlotFn)
+	s.net.Scheduler().ScheduleHandlerAt(now+s.cfg.SlotLength, &s.end)
+	s.phaseEvent = s.net.Scheduler().ScheduleHandlerAt(now+cycle, &s.phase)
 	// A send gap longer than the off-period leaves the previous chain's
 	// timer pending into this slot; cancel it so exactly one send chain is
 	// ever live and the rate cannot compound across cycles.
