@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet check golden bench bench-baseline bench-diff bench-smoke search search-baseline search-smoke chaos-smoke crash-smoke profile
+.PHONY: all build test vet check golden bench bench-baseline bench-diff bench-smoke search search-baseline search-smoke chaos-smoke crash-smoke serve-smoke profile
 
 all: build test
 
@@ -26,6 +26,7 @@ check:
 	$(GO) run ./cmd/maficsearch -quick
 	$(MAKE) chaos-smoke
 	$(MAKE) crash-smoke
+	$(MAKE) serve-smoke
 
 # golden re-pins the scenario regression fixtures after an intentional
 # behaviour change. Review the diff before committing it.
@@ -94,6 +95,15 @@ chaos-smoke:
 crash-smoke:
 	$(GO) test -race -count=1 ./internal/experiment \
 		-run 'TestKillAndResumeEquivalence|TestCheckpointUnderActiveFaults|TestRestoreThenReuseInvariance'
+
+# serve-smoke is the service-mode crash-recovery gate: it starts a real
+# maficserve process, submits a long checkpointing job, kill -9s the process
+# mid-run, restarts it over the same store, and requires the resumed job's
+# result.json to be bit-identical to an uninterrupted run — all under the
+# race detector. A failure means the service can lose or corrupt work across
+# a crash.
+serve-smoke:
+	$(GO) test -race -count=1 -timeout 10m ./cmd/maficserve -run TestServeKillNineRecovery -v
 
 # profile runs the headline benchmark under the CPU and allocation profilers
 # so the next hotspot hunt starts from `go tool pprof cpu.pprof` instead of

@@ -26,6 +26,7 @@ import (
 	"os"
 	"time"
 
+	"mafic/internal/checkpoint"
 	"mafic/internal/experiment"
 	"mafic/internal/sim"
 )
@@ -159,7 +160,9 @@ func run(args []string, out *os.File) error {
 	if len(times) > 0 {
 		res, err = experiment.RunWithCheckpoints(s, times, func(at sim.Time, data []byte) error {
 			name := fmt.Sprintf("%s-%dms.snap", *ckptOut, at/sim.Millisecond)
-			if werr := os.WriteFile(name, data, 0o644); werr != nil {
+			// Atomic (temp + fsync + rename): a crash mid-write must never
+			// leave a torn file where a resumable snapshot should be.
+			if werr := checkpoint.WriteFileAtomic(name, data, 0o644); werr != nil {
 				return werr
 			}
 			fmt.Fprintf(os.Stderr, "wrote %s (%d bytes at t=%v)\n", name, len(data), at)

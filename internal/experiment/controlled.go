@@ -1,0 +1,171 @@
+package experiment
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"mafic/internal/checkpoint"
+	"mafic/internal/sim"
+	"mafic/internal/topology"
+)
+
+// ErrInterrupted reports that a controlled run was interrupted through
+// ControlOptions.Interrupt before reaching its scenario duration. When a Save
+// sink is configured and the run had made any progress, a final snapshot was
+// handed to it first, so the run can be resumed later with ResumeControlled.
+var ErrInterrupted = errors.New("experiment: run interrupted")
+
+// ErrSnapshot marks resume failures whose cause is the snapshot itself —
+// undecodable bytes, an embedded scenario that no longer validates, or
+// restore-time divergence from the rebuilt world. Callers holding several
+// snapshots (the serve recovery path) use it to fall back to an older one;
+// errors past the restore phase are genuine run failures and are not wrapped.
+var ErrSnapshot = errors.New("experiment: snapshot unusable")
+
+// ControlOptions shapes a controlled (long-running, supervisable) run.
+type ControlOptions struct {
+	// CheckpointEvery takes a snapshot at every multiple of this virtual
+	// time inside (0, Duration). Zero disables periodic checkpoints.
+	// Checkpoints require a Save sink.
+	CheckpointEvery sim.Time
+	// Save receives each encoded snapshot. An error aborts the run.
+	Save func(at sim.Time, data []byte) error
+	// Interrupt, when it becomes receivable (normally by closing the
+	// channel), pauses the run at the next checkpoint boundary: a final
+	// snapshot is saved (if Save is set and the clock has advanced) and the
+	// run returns ErrInterrupted. A nil channel never interrupts. Interrupt
+	// latency is bounded by the checkpoint interval — with no checkpoints
+	// configured the run is a single uninterruptible segment.
+	Interrupt <-chan struct{}
+}
+
+// RunControlled executes one scenario under the given control surface. With
+// zero options it is exactly Run; with a checkpoint interval it is the
+// service-mode run loop: snapshot periodically, pause on interrupt, resume
+// later bit-identically (snapshots are pure reads, pinned by the
+// kill-and-resume suite).
+func RunControlled(s Scenario, opts ControlOptions) (Result, error) {
+	if err := s.Validate(); err != nil {
+		return Result{}, err
+	}
+	if opts.CheckpointEvery < 0 {
+		return Result{}, fmt.Errorf("%w: checkpoint interval must not be negative", ErrScenario)
+	}
+	arena := arenaPool.Get()
+	if arena == nil {
+		arena = topology.NewArena()
+	}
+	defer arenaPool.Put(arena)
+	sched := getScheduler(s.Scheduler)
+	defer putScheduler(sched)
+	b, err := buildRun(s, arena, sched)
+	if err != nil {
+		return Result{}, err
+	}
+	return controlLoop(b, opts)
+}
+
+// ResumeControlled decodes a snapshot, rebuilds its embedded scenario
+// deterministically, overlays the captured dynamic state and continues the
+// run under the given control surface. Periodic checkpoints resume on the
+// original schedule (the next multiple of CheckpointEvery after the snapshot
+// time). Failures caused by the snapshot itself are wrapped in ErrSnapshot.
+func ResumeControlled(data []byte, opts ControlOptions) (Result, error) {
+	snap, err := checkpoint.Decode(data)
+	if err != nil {
+		return Result{}, fmt.Errorf("%w: %w", ErrSnapshot, err)
+	}
+	var s Scenario
+	if err := json.Unmarshal(snap.Scenario, &s); err != nil {
+		return Result{}, fmt.Errorf("%w: decode snapshot scenario: %w", ErrSnapshot, err)
+	}
+	if err := s.Validate(); err != nil {
+		return Result{}, fmt.Errorf("%w: %w", ErrSnapshot, err)
+	}
+	if opts.CheckpointEvery < 0 {
+		return Result{}, fmt.Errorf("%w: checkpoint interval must not be negative", ErrScenario)
+	}
+	arena := arenaPool.Get()
+	if arena == nil {
+		arena = topology.NewArena()
+	}
+	defer arenaPool.Put(arena)
+	sched := getScheduler(s.Scheduler)
+	defer putScheduler(sched)
+	b, err := buildRun(s, arena, sched)
+	if err != nil {
+		return Result{}, err
+	}
+	w := b.world()
+	if err := checkpoint.Restore(w, snap); err != nil {
+		b.abort()
+		return Result{}, fmt.Errorf("%w: %w", ErrSnapshot, err)
+	}
+	b.result.Activated = w.Flags.Activated
+	b.result.ActivationSeconds = w.Flags.ActivationSeconds
+	b.result.DetectedByPushback = w.Flags.DetectedByPushback
+	b.result.ATRCount = int(w.Flags.ATRCount)
+	return controlLoop(b, opts)
+}
+
+// interrupted reports whether the control surface has asked the run to stop.
+func interrupted(ch <-chan struct{}) bool {
+	select {
+	case <-ch:
+		return true
+	default:
+		return false
+	}
+}
+
+// controlLoop advances a built (or rebuilt-and-restored) run to its scenario
+// duration in checkpoint-bounded segments, saving a snapshot after each
+// segment and checking for interruption between them. It owns the built
+// run's lifecycle: every return path either finishes or aborts it.
+func controlLoop(b *builtRun, opts ControlOptions) (Result, error) {
+	s := b.s
+	sched := b.sched
+	for {
+		if opts.Interrupt != nil && interrupted(opts.Interrupt) {
+			// Pause at the current event boundary. If the run has made any
+			// progress and there is somewhere to save it, take a final
+			// snapshot so the interruption loses nothing.
+			if opts.Save != nil && sched.Now() > 0 {
+				data, err := b.snapshot()
+				if err != nil {
+					b.abort()
+					return Result{}, err
+				}
+				if err := opts.Save(sched.Now(), data); err != nil {
+					b.abort()
+					return Result{}, fmt.Errorf("save final snapshot at %v: %w", sched.Now(), err)
+				}
+			}
+			b.abort()
+			return Result{}, fmt.Errorf("%w at t=%v", ErrInterrupted, sched.Now())
+		}
+		next := s.Duration
+		if opts.CheckpointEvery > 0 && opts.Save != nil {
+			if t := (sched.Now()/opts.CheckpointEvery + 1) * opts.CheckpointEvery; t < s.Duration {
+				next = t
+			}
+		}
+		if err := sched.RunUntil(next); err != nil {
+			b.abort()
+			return Result{}, fmt.Errorf("run: %w", err)
+		}
+		if next >= s.Duration {
+			return b.finish()
+		}
+		data, err := b.snapshot()
+		if err != nil {
+			b.abort()
+			return Result{}, err
+		}
+		if err := opts.Save(next, data); err != nil {
+			b.abort()
+			return Result{}, fmt.Errorf("save checkpoint at %v: %w", next, err)
+		}
+	}
+}

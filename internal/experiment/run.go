@@ -197,44 +197,11 @@ func RunWithCheckpoints(s Scenario, times []sim.Time, save func(at sim.Time, dat
 // RunFromSnapshot decodes a snapshot, rebuilds its scenario deterministically,
 // overlays the captured state and runs the remainder of the scenario. The
 // returned result is bit-identical to the uninterrupted run's (the
-// crash-recovery suite pins this for every catalog scenario).
+// crash-recovery suite pins this for every catalog scenario). It is
+// ResumeControlled without a control surface: no further checkpoints, no
+// interruption.
 func RunFromSnapshot(data []byte) (Result, error) {
-	snap, err := checkpoint.Decode(data)
-	if err != nil {
-		return Result{}, err
-	}
-	var s Scenario
-	if err := json.Unmarshal(snap.Scenario, &s); err != nil {
-		return Result{}, fmt.Errorf("decode snapshot scenario: %w", err)
-	}
-	if err := s.Validate(); err != nil {
-		return Result{}, err
-	}
-	arena := arenaPool.Get()
-	if arena == nil {
-		arena = topology.NewArena()
-	}
-	defer arenaPool.Put(arena)
-	sched := getScheduler(s.Scheduler)
-	defer putScheduler(sched)
-	b, err := buildRun(s, arena, sched)
-	if err != nil {
-		return Result{}, err
-	}
-	w := b.world()
-	if err := checkpoint.Restore(w, snap); err != nil {
-		b.abort()
-		return Result{}, err
-	}
-	b.result.Activated = w.Flags.Activated
-	b.result.ActivationSeconds = w.Flags.ActivationSeconds
-	b.result.DetectedByPushback = w.Flags.DetectedByPushback
-	b.result.ATRCount = int(w.Flags.ATRCount)
-	if err := sched.RunUntil(s.Duration); err != nil {
-		b.abort()
-		return Result{}, fmt.Errorf("run: %w", err)
-	}
-	return b.finish()
+	return ResumeControlled(data, ControlOptions{})
 }
 
 // world assembles the checkpoint bridge over the built run.

@@ -1,0 +1,28 @@
+// Package serve is the crash-tolerant long-running simulation service built
+// on the snapshot layer: a supervised job queue over the scenario catalog.
+//
+// A Server accepts JobSpec submissions (a catalog name plus parameter
+// overrides, the same knobs `maficsim` exposes as flags), runs them on a
+// bounded worker pool, and auto-checkpoints every running job on a
+// configurable simulated-time interval into a rotated on-disk snapshot store
+// (checkpoint.Store: atomic writes, keep-last-K). The durability contract:
+//
+//   - A full queue sheds new submissions explicitly (ErrQueueFull → 503)
+//     rather than queueing unboundedly.
+//   - A transient run failure is retried with bounded doubling backoff,
+//     resuming from the newest snapshot, so progress is never lost to a
+//     flaky attempt.
+//   - A per-job wall-clock timeout fails the job terminally — timed out,
+//     not hung, and not retried.
+//   - Drain (SIGTERM or POST /drain) pauses every in-flight job at the next
+//     checkpoint boundary, saves one final snapshot, and leaves the job's
+//     manifest marked running so the next process resumes it.
+//   - On startup the server scans its store, re-enqueues every queued or
+//     running job, and resumes each from its newest snapshot that actually
+//     validates — falling back loudly past torn or bit-flipped files.
+//
+// Because snapshots restore bit-identically (pinned by the experiment
+// package's kill-and-resume suite and this package's recovery tests), a job
+// that lived through any number of crashes, retries and restarts produces
+// exactly the bytes an uninterrupted run would have written.
+package serve

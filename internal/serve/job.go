@@ -1,0 +1,227 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"mafic/internal/experiment"
+	"mafic/internal/sim"
+)
+
+// Sentinel errors for the submission and job-control surface. The HTTP layer
+// maps them onto status codes; embedders can errors.Is against them directly.
+var (
+	// ErrBadRequest marks submissions rejected for their content: unknown
+	// scenario or defence names, parameter combinations that fail scenario
+	// validation.
+	ErrBadRequest = errors.New("serve: invalid job spec")
+	// ErrQueueFull is explicit load shedding: the bounded queue is at
+	// capacity and the server refuses to buffer more.
+	ErrQueueFull = errors.New("serve: job queue full")
+	// ErrDraining rejects submissions after a drain began.
+	ErrDraining = errors.New("serve: server is draining")
+	// ErrUnknownJob reports a job ID the server has never seen.
+	ErrUnknownJob = errors.New("serve: unknown job")
+	// ErrConflict reports an operation invalid for the job's state, such
+	// as cancelling a job that already finished.
+	ErrConflict = errors.New("serve: job already finished")
+)
+
+// JobState is the lifecycle of one submitted job.
+type JobState string
+
+const (
+	StateQueued    JobState = "queued"
+	StateRunning   JobState = "running"
+	StateCompleted JobState = "completed"
+	StateFailed    JobState = "failed"
+	StateCanceled  JobState = "canceled"
+)
+
+// terminal reports whether a job in this state will never run again.
+func (s JobState) terminal() bool {
+	return s == StateCompleted || s == StateFailed || s == StateCanceled
+}
+
+// JobSpec names a scenario and optional parameter overrides — the service
+// equivalent of maficsim's flag set. Pointer fields distinguish "not set"
+// (keep the catalog entry's own knob) from an explicit zero.
+type JobSpec struct {
+	// Scenario is a catalog name (see maficsim -list). Empty runs the
+	// paper-default scenario.
+	Scenario string `json:"scenario,omitempty"`
+	// Quick runs the scaled-down variant of a catalog entry.
+	Quick bool `json:"quick,omitempty"`
+	// Hardened applies the robustness hardening after overrides.
+	Hardened bool `json:"hardened,omitempty"`
+
+	Seed       *int64   `json:"seed,omitempty"`
+	DurationMs *float64 `json:"durationMs,omitempty"`
+	Pd         *float64 `json:"pd,omitempty"`
+	Flows      *int     `json:"flows,omitempty"`
+	TCPShare   *float64 `json:"tcpShare,omitempty"`
+	// Rate is the attack source rate in paper-scale packets/s; it is
+	// divided by experiment.RateScale exactly as the CLI does.
+	Rate    *float64 `json:"rate,omitempty"`
+	Routers *int     `json:"routers,omitempty"`
+	// Defense is "mafic", "proportional" or "none"; empty keeps the
+	// scenario's own defence.
+	Defense string `json:"defense,omitempty"`
+
+	// CheckpointEveryMs overrides the server's snapshot interval for this
+	// job, in simulated milliseconds. Zero disables checkpoints (and with
+	// them interruptibility) for the job.
+	CheckpointEveryMs *float64 `json:"checkpointEveryMs,omitempty"`
+}
+
+// BuildScenario materializes the spec into a validated Scenario, mirroring
+// the maficsim flag pipeline: catalog lookup, Quick before overrides, Harden
+// after. All rejections are wrapped in ErrBadRequest.
+func (spec JobSpec) BuildScenario() (experiment.Scenario, error) {
+	var s experiment.Scenario
+	if spec.Scenario == "" {
+		if spec.Quick {
+			return s, fmt.Errorf("%w: quick scales down a catalog entry; name a scenario", ErrBadRequest)
+		}
+		s = experiment.DefaultScenario()
+	} else {
+		e, ok := experiment.LookupScenario(spec.Scenario)
+		if !ok {
+			return s, fmt.Errorf("%w: unknown scenario %q", ErrBadRequest, spec.Scenario)
+		}
+		s = e.Build()
+		if spec.Quick {
+			s = experiment.Quick(s)
+		}
+	}
+	if spec.Seed != nil {
+		s.Seed = *spec.Seed
+	}
+	if spec.DurationMs != nil {
+		s.Duration = sim.Time(*spec.DurationMs * float64(sim.Millisecond))
+	}
+	if spec.Pd != nil {
+		s.MAFIC.DropProbability = *spec.Pd
+	}
+	if spec.Flows != nil {
+		s.Workload.TotalFlows = *spec.Flows
+	}
+	if spec.TCPShare != nil {
+		s.Workload.TCPShare = *spec.TCPShare
+	}
+	if spec.Rate != nil {
+		s.Workload.AttackRate = *spec.Rate / experiment.RateScale
+	}
+	if spec.Routers != nil {
+		s.Topology.NumRouters = *spec.Routers
+	}
+	if spec.Hardened {
+		s = experiment.Harden(s)
+	}
+	switch spec.Defense {
+	case "":
+	case "mafic":
+		s.Defense = experiment.DefenseMAFIC
+	case "proportional":
+		s.Defense = experiment.DefenseBaseline
+	case "none":
+		s.Defense = experiment.DefenseNone
+	default:
+		return s, fmt.Errorf("%w: unknown defense %q", ErrBadRequest, spec.Defense)
+	}
+	if spec.CheckpointEveryMs != nil && *spec.CheckpointEveryMs < 0 {
+		return s, fmt.Errorf("%w: checkpointEveryMs must not be negative", ErrBadRequest)
+	}
+	if err := s.Validate(); err != nil {
+		return s, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	return s, nil
+}
+
+// job is the server's mutable record of one submission. Every field after
+// spec is guarded by Server.mu.
+type job struct {
+	id   uint64
+	spec JobSpec
+
+	state          JobState
+	errMsg         string
+	attempts       int
+	snapshots      int
+	lastCheckpoint sim.Time
+	resumed        bool
+	resumedFrom    sim.Time
+	submitted      time.Time
+	started        time.Time
+	finished       time.Time
+	result         *experiment.Result
+
+	// cancel is closed (once) to interrupt a running job; canceled
+	// remembers that so a second Cancel does not close it again.
+	cancel   chan struct{}
+	canceled bool
+	// stopReason records why the control surface interrupted the current
+	// attempt, set by the attempt's stopper just before it trips Interrupt.
+	stopReason stopReason
+}
+
+type stopReason int
+
+const (
+	stopNone stopReason = iota
+	stopDrain
+	stopCancel
+	stopTimeout
+)
+
+// manifest is the on-disk job record (job.json), written atomically on every
+// state transition. It is what startup recovery rebuilds jobs from.
+type manifest struct {
+	ID          uint64    `json:"id"`
+	Spec        JobSpec   `json:"spec"`
+	State       JobState  `json:"state"`
+	Error       string    `json:"error,omitempty"`
+	Attempts    int       `json:"attempts"`
+	SubmittedAt time.Time `json:"submittedAt"`
+}
+
+// JobInfo is the externally visible view of a job, served by /jobs.
+type JobInfo struct {
+	ID       uint64   `json:"id"`
+	Spec     JobSpec  `json:"spec"`
+	State    JobState `json:"state"`
+	Error    string   `json:"error,omitempty"`
+	Attempts int      `json:"attempts"`
+
+	// Snapshots is the number of snapshot files currently on disk;
+	// LastCheckpointMs is the simulated time of the newest one.
+	Snapshots        int     `json:"snapshots"`
+	LastCheckpointMs float64 `json:"lastCheckpointMs,omitempty"`
+	// ResumedFromMs is set when the current (or final) attempt continued
+	// from a snapshot rather than starting fresh.
+	ResumedFromMs *float64 `json:"resumedFromMs,omitempty"`
+
+	SubmittedAt time.Time  `json:"submittedAt"`
+	StartedAt   *time.Time `json:"startedAt,omitempty"`
+	FinishedAt  *time.Time `json:"finishedAt,omitempty"`
+
+	Result *experiment.Result `json:"result,omitempty"`
+}
+
+// Metrics counts service-level events since process start. Snapshot it with
+// Server.Metrics.
+type Metrics struct {
+	Submitted        uint64 `json:"submitted"`
+	Shed             uint64 `json:"shed"`
+	Completed        uint64 `json:"completed"`
+	Failed           uint64 `json:"failed"`
+	Canceled         uint64 `json:"canceled"`
+	TimedOut         uint64 `json:"timedOut"`
+	Retried          uint64 `json:"retried"`
+	Resumed          uint64 `json:"resumed"`
+	SnapshotsWritten uint64 `json:"snapshotsWritten"`
+	SnapshotsCorrupt uint64 `json:"snapshotsCorrupt"`
+	Recovered        uint64 `json:"recovered"`
+	Drained          uint64 `json:"drained"`
+}

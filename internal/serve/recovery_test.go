@@ -1,0 +1,267 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"mafic/internal/experiment"
+	"mafic/internal/sim"
+)
+
+func contextWithTimeout(d time.Duration) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), d)
+}
+
+// resumableSpec checkpoints often enough that a drain mid-run leaves plenty
+// of simulation still to do on resume.
+func resumableSpec() JobSpec {
+	spec := quickSpec()
+	spec.CheckpointEveryMs = ptr(20.0)
+	return spec
+}
+
+// referenceResult runs the spec's scenario uninterrupted, in-process.
+func referenceResult(t *testing.T, spec JobSpec) experiment.Result {
+	t.Helper()
+	s, err := spec.BuildScenario()
+	if err != nil {
+		t.Fatalf("build reference scenario: %v", err)
+	}
+	want, err := experiment.Run(s)
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	return want
+}
+
+func TestDrainSavesFinalSnapshotAndRestartResumes(t *testing.T) {
+	spec := resumableSpec()
+	want := referenceResult(t, spec)
+	dir := t.TempDir()
+
+	sv1, logs1 := newTestServer(t, Config{Dir: dir, Workers: 1})
+	saves := 0
+	sv1.hooks.afterSave = func(id uint64, at sim.Time) {
+		saves++
+		if saves == 2 {
+			sv1.Drain()
+		}
+	}
+	sv1.Start()
+	if _, err := sv1.Submit(spec); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	// The afterSave hook drains mid-run; wait for that before shutting
+	// down, or Shutdown's own drain would park the worker with the job
+	// still queued.
+	select {
+	case <-sv1.DrainRequested():
+	case <-time.After(30 * time.Second):
+		t.Fatal("the checkpoint hook never triggered the drain")
+	}
+	shutdown(t, sv1)
+
+	info, _ := sv1.Job(1)
+	if info.State != StateRunning {
+		t.Fatalf("drained job is %s, want still running (it resumes on restart); logs:\n%s", info.State, logs1.String())
+	}
+	if info.Snapshots == 0 {
+		t.Fatal("drain left no snapshot behind")
+	}
+	if m := sv1.Metrics(); m.Drained != 1 {
+		t.Errorf("Drained = %d, want 1", m.Drained)
+	}
+
+	// A fresh process over the same dir must pick the job up and finish it
+	// bit-identically to the uninterrupted reference.
+	sv2, _ := newTestServer(t, Config{Dir: dir, Workers: 1})
+	if m := sv2.Metrics(); m.Recovered != 1 {
+		t.Fatalf("Recovered = %d, want 1", m.Recovered)
+	}
+	sv2.Start()
+	final := waitJob(t, sv2, 1, StateCompleted)
+	if final.ResumedFromMs == nil || *final.ResumedFromMs <= 0 {
+		t.Error("job did not record the snapshot time it resumed from")
+	}
+	if final.Result == nil || !reflect.DeepEqual(*final.Result, want) {
+		t.Error("resumed result differs from the uninterrupted reference run")
+	}
+	if m := sv2.Metrics(); m.Resumed != 1 {
+		t.Errorf("Resumed = %d, want 1", m.Resumed)
+	}
+
+	// The raw result.json must round-trip to the same result too.
+	raw, err := sv2.ResultBytes(1)
+	if err != nil {
+		t.Fatalf("ResultBytes: %v", err)
+	}
+	var onDisk experiment.Result
+	if err := json.Unmarshal(raw, &onDisk); err != nil {
+		t.Fatalf("decode result.json: %v", err)
+	}
+	if !reflect.DeepEqual(onDisk, want) {
+		t.Error("result.json differs from the reference run")
+	}
+	shutdown(t, sv2)
+}
+
+func TestRestartFallsBackPastCorruptNewestSnapshot(t *testing.T) {
+	spec := resumableSpec()
+	want := referenceResult(t, spec)
+	dir := t.TempDir()
+
+	sv1, _ := newTestServer(t, Config{Dir: dir, Workers: 1, Keep: 4})
+	saves := 0
+	sv1.hooks.afterSave = func(id uint64, at sim.Time) {
+		saves++
+		if saves == 3 {
+			sv1.Drain()
+		}
+	}
+	sv1.Start()
+	if _, err := sv1.Submit(spec); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	select {
+	case <-sv1.DrainRequested():
+	case <-time.After(30 * time.Second):
+		t.Fatal("the checkpoint hook never triggered the drain")
+	}
+	shutdown(t, sv1)
+
+	// Tear the newest snapshot in place — the drain-time one.
+	names := snapNames(t, filepath.Join(dir, "jobs", "000001"))
+	if len(names) < 2 {
+		t.Fatalf("need at least 2 snapshots to prove fallback, have %v", names)
+	}
+	newest := filepath.Join(dir, "jobs", "000001", names[len(names)-1])
+	data, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatalf("read newest snapshot: %v", err)
+	}
+	if err := os.WriteFile(newest, data[:len(data)/2], 0o644); err != nil {
+		t.Fatalf("truncate newest snapshot: %v", err)
+	}
+
+	sv2, logs2 := newTestServer(t, Config{Dir: dir, Workers: 1, Keep: 4})
+	sv2.Start()
+	final := waitJob(t, sv2, 1, StateCompleted)
+	if final.Result == nil || !reflect.DeepEqual(*final.Result, want) {
+		t.Error("result after corruption fallback differs from the reference run")
+	}
+	if m := sv2.Metrics(); m.SnapshotsCorrupt == 0 {
+		t.Error("SnapshotsCorrupt = 0; the torn snapshot went unnoticed")
+	}
+	if !strings.Contains(logs2.String(), "CORRUPT") {
+		t.Errorf("fallback was not logged loudly; logs:\n%s", logs2.String())
+	}
+	shutdown(t, sv2)
+}
+
+func TestRecoveryRunsManifestOnlyJobFresh(t *testing.T) {
+	// A job that crashed before its first checkpoint: manifest says
+	// running, no snapshots. Recovery must start it from scratch.
+	dir := t.TempDir()
+	jobDir := filepath.Join(dir, "jobs", "000007")
+	if err := os.MkdirAll(jobDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	spec := quickSpec()
+	m := manifest{ID: 7, Spec: spec, State: StateRunning, Attempts: 1, SubmittedAt: time.Now()}
+	data, _ := json.Marshal(m)
+	if err := os.WriteFile(filepath.Join(jobDir, "job.json"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	want := referenceResult(t, spec)
+
+	sv, _ := newTestServer(t, Config{Dir: dir, Workers: 1})
+	if m := sv.Metrics(); m.Recovered != 1 {
+		t.Fatalf("Recovered = %d, want 1", m.Recovered)
+	}
+	sv.Start()
+	final := waitJob(t, sv, 7, StateCompleted)
+	if final.ResumedFromMs != nil {
+		t.Error("job claims to have resumed with no snapshot on disk")
+	}
+	if final.Result == nil || !reflect.DeepEqual(*final.Result, want) {
+		t.Error("fresh recovery run differs from the reference")
+	}
+	if m := sv.Metrics(); m.Resumed != 0 {
+		t.Errorf("Resumed = %d, want 0", m.Resumed)
+	}
+	// New submissions continue past the recovered ID space.
+	info, err := sv.Submit(quickSpec())
+	if err != nil {
+		t.Fatalf("submit after recovery: %v", err)
+	}
+	if info.ID != 8 {
+		t.Errorf("next job ID = %d, want 8", info.ID)
+	}
+	waitJob(t, sv, 8, StateCompleted)
+	shutdown(t, sv)
+}
+
+func TestRecoverySkipsCorruptManifestLoudly(t *testing.T) {
+	dir := t.TempDir()
+	jobDir := filepath.Join(dir, "jobs", "000003")
+	if err := os.MkdirAll(jobDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(jobDir, "job.json"), []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sv, logs := newTestServer(t, Config{Dir: dir})
+	if jobs := sv.Jobs(); len(jobs) != 0 {
+		t.Errorf("corrupt manifest produced jobs: %v", jobs)
+	}
+	if !strings.Contains(logs.String(), "CORRUPT manifest") {
+		t.Errorf("corrupt manifest was not logged; logs:\n%s", logs.String())
+	}
+}
+
+func TestCompletedJobSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	sv1, _ := newTestServer(t, Config{Dir: dir, Workers: 1})
+	sv1.Start()
+	spec := quickSpec()
+	if _, err := sv1.Submit(spec); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	done := waitJob(t, sv1, 1, StateCompleted)
+	shutdown(t, sv1)
+
+	sv2, _ := newTestServer(t, Config{Dir: dir, Workers: 1})
+	info, ok := sv2.Job(1)
+	if !ok || info.State != StateCompleted {
+		t.Fatalf("completed job lost across restart: %+v", info)
+	}
+	if info.Result == nil || !reflect.DeepEqual(*info.Result, *done.Result) {
+		t.Error("restart did not reload the completed result")
+	}
+	if m := sv2.Metrics(); m.Recovered != 0 {
+		t.Errorf("completed job was re-enqueued: Recovered = %d", m.Recovered)
+	}
+}
+
+func snapNames(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("read %s: %v", dir, err)
+	}
+	var names []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".snap") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names) // seq-prefixed: lexical order is write order
+	return names
+}
